@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablations of the modeling choices DESIGN.md calls out, run on one
+ * memory-bound (RNN-2) and one compute-heavy (CNN-1) point:
+ *
+ * 1. Double buffering (Fig. 3): tile(n) compute overlapping
+ *    tile(n+1) memory phase vs. a single-buffered SPM.
+ * 2. DMA burst size: how the linearized-transaction granularity
+ *    drives translation counts and the IOMMU's collapse.
+ * 3. TPreg contribution inside the full NeuMMU (walk latency).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace neummu;
+
+int
+main()
+{
+    bench::printHeader("Ablations",
+                       "Design-choice ablations: double buffering, "
+                       "DMA burst size, TPreg");
+
+    const std::vector<bench::GridPoint> points = {
+        {WorkloadId::RNN2, 4}, {WorkloadId::CNN1, 4}};
+
+    std::printf("(1) double buffering, oracular MMU\n");
+    std::printf("%-12s %14s %14s %10s\n", "workload", "single_buf",
+                "double_buf", "speedup");
+    for (const bench::GridPoint &gp : points) {
+        DenseExperimentConfig cfg;
+        cfg.workload = gp.workload;
+        cfg.batch = gp.batch;
+        cfg.mmu = oracleMmuConfig();
+        cfg.bufferDepth = 1;
+        const Tick single = runDenseExperiment(cfg).totalCycles;
+        cfg.bufferDepth = 2;
+        const Tick dbl = runDenseExperiment(cfg).totalCycles;
+        std::printf("%-12s %14llu %14llu %9.2fx\n", gp.label().c_str(),
+                    (unsigned long long)single, (unsigned long long)dbl,
+                    double(single) / double(dbl));
+    }
+
+    std::printf("\n(2) DMA burst size under the baseline IOMMU\n");
+    std::printf("%-12s %8s %14s %14s %12s\n", "workload", "burst",
+                "translations", "iommu_cyc", "norm_perf");
+    for (const bench::GridPoint &gp : points) {
+        for (const std::uint64_t burst : {256ull, 512ull, 1024ull,
+                                          4096ull}) {
+            DenseExperimentConfig cfg;
+            cfg.workload = gp.workload;
+            cfg.batch = gp.batch;
+            cfg.npu.dmaBurstBytes = burst;
+            cfg.mmu = oracleMmuConfig();
+            const Tick oracle = runDenseExperiment(cfg).totalCycles;
+            cfg.mmu = baselineIommuConfig();
+            const DenseExperimentResult r = runDenseExperiment(cfg);
+            std::printf("%-12s %8llu %14llu %14llu %12.4f\n",
+                        gp.label().c_str(), (unsigned long long)burst,
+                        (unsigned long long)r.mmu.requests,
+                        (unsigned long long)r.totalCycles,
+                        double(oracle) / double(r.totalCycles));
+        }
+        std::fflush(stdout);
+    }
+
+    std::printf("\n(3) TPreg inside the full NeuMMU (128 PTW, "
+                "PRMB 32)\n");
+    std::printf("%-12s %10s %10s %14s %14s\n", "workload", "no_tpreg",
+                "tpreg", "dram_no_tpreg", "dram_tpreg");
+    for (const bench::GridPoint &gp : points) {
+        DenseExperimentConfig cfg;
+        cfg.workload = gp.workload;
+        cfg.batch = gp.batch;
+        cfg.mmu = oracleMmuConfig();
+        const Tick oracle = runDenseExperiment(cfg).totalCycles;
+        cfg.mmu = neuMmuConfig();
+        cfg.mmu.pathCache = MmuCacheKind::None;
+        const DenseExperimentResult no_tpreg = runDenseExperiment(cfg);
+        cfg.mmu.pathCache = MmuCacheKind::TpReg;
+        const DenseExperimentResult with_tpreg =
+            runDenseExperiment(cfg);
+        std::printf("%-12s %10.4f %10.4f %14llu %14llu\n",
+                    gp.label().c_str(),
+                    double(oracle) / double(no_tpreg.totalCycles),
+                    double(oracle) / double(with_tpreg.totalCycles),
+                    (unsigned long long)no_tpreg.mmu.walkMemAccesses,
+                    (unsigned long long)with_tpreg.mmu.walkMemAccesses);
+    }
+
+    std::printf("\nTakeaways: double buffering is what makes the "
+                "translation bursts matter\n(without it memory and "
+                "compute phases serialize anyway); finer bursts mean\n"
+                "more translations per page and a deeper IOMMU "
+                "collapse; TPreg's win is\nenergy (walk DRAM "
+                "accesses), not cycles, once walkers are plentiful.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension: sequential translation prefetching (the paper cites TLB
+ * prefetching as CPU-side related work). Can a prefetcher rescue the
+ * baseline IOMMU from translation bursts, and does NeuMMU still need
+ * its walker pool once prefetching exists?
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace neummu;
+
+int
+main()
+{
+    bench::printHeader("Extension: translation prefetching",
+                       "Sequential prefetch depth sweep (normalized "
+                       "to oracle)");
+
+    const std::vector<bench::GridPoint> points = {
+        {WorkloadId::CNN1, 1}, {WorkloadId::RNN2, 4},
+        {WorkloadId::RNN3, 8}};
+    bench::DenseSweep sweep(points);
+
+    const std::vector<unsigned> depths = {0, 1, 2, 4, 8};
+
+    for (const auto &[name, base_cfg] :
+         {std::pair<const char *, MmuConfig>{"IOMMU(8 PTW)",
+                                             baselineIommuConfig()},
+          std::pair<const char *, MmuConfig>{"NeuMMU(128 PTW)",
+                                             neuMmuConfig()}}) {
+        std::printf("%s\n%-12s", name, "workload");
+        for (const unsigned d : depths)
+            std::printf(" depth(%u)", d);
+        std::printf(" %12s\n", "pf_walks@8");
+
+        std::map<unsigned, std::vector<double>> norms;
+        for (const bench::GridPoint &gp : points) {
+            std::printf("%-12s", gp.label().c_str());
+            std::uint64_t pf_walks = 0;
+            for (const unsigned d : depths) {
+                const DenseExperimentResult r =
+                    sweep.run(gp, [&](auto &cfg) {
+                        cfg.mmu = base_cfg;
+                        cfg.mmu.prefetchDepth = d;
+                    });
+                const double norm = double(sweep.oracleCycles(gp)) /
+                                    double(r.totalCycles);
+                norms[d].push_back(norm);
+                pf_walks = r.mmu.prefetchWalks;
+                std::printf(" %8.4f", norm);
+            }
+            std::printf(" %12llu\n", (unsigned long long)pf_walks);
+            std::fflush(stdout);
+        }
+        std::printf("%-12s", "average");
+        for (const unsigned d : depths)
+            std::printf(" %8.4f", bench::mean(norms[d]));
+        std::printf("\n\n");
+    }
+
+    std::printf("Takeaway: the IOMMU's 8 walkers have no slack to "
+                "speculate during bursts,\nso prefetching barely "
+                "moves it; on NeuMMU the prefetcher trades spare "
+                "walker\nslots for TLB hits, shaving part of the "
+                "residual overhead. Raw translation\nthroughput, not "
+                "prediction, is what the burst regime rewards -- "
+                "consistent\nwith the paper's throughput-first "
+                "thesis.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 10: performance sensitivity to the number of PRMB mergeable
+ * slots (1..32) with the baseline 8 PTWs and 2048-entry TLB, across
+ * the dense grid, normalized to the oracular MMU.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace neummu;
+
+int
+main()
+{
+    bench::printHeader("Figure 10",
+                       "PRMB mergeable-slot sweep (8 PTWs, 2048-entry "
+                       "TLB, 4 KB pages)");
+
+    const std::vector<unsigned> slot_counts = {1, 2, 4, 8, 16, 32};
+    bench::DenseSweep sweep;
+
+    std::printf("%-12s", "workload");
+    for (const unsigned s : slot_counts)
+        std::printf(" PRMB(%2u)", s);
+    std::printf("\n");
+
+    std::map<unsigned, std::vector<double>> norms;
+    for (const bench::GridPoint &gp : sweep.grid()) {
+        std::printf("%-12s", gp.label().c_str());
+        for (const unsigned s : slot_counts) {
+            // Section IV-A staging: PRMB only -- no TPreg yet.
+            const double norm = sweep.normalized(gp, [&](auto &cfg) {
+                cfg.mmu = baselineIommuConfig();
+                cfg.mmu.prmbSlots = s; // enables PTS + PRMB
+            });
+            norms[s].push_back(norm);
+            std::printf(" %8.4f", norm);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    std::printf("\n%-12s", "average");
+    for (const unsigned s : slot_counts)
+        std::printf(" %8.4f", bench::mean(norms[s]));
+    std::printf("\n\nPaper reference: 8-32 slots capture the burst "
+                "locality; PRMB(32) with 8 PTWs\nreaches ~11%% of "
+                "oracle on average (max ~98%% on compute-bound "
+                "points), leaving\nthe throughput gap Fig. 11 closes "
+                "with more walkers.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 16: demand paging the missing (remote) embeddings into local
+ * NPU memory, comparing the baseline IOMMU against NeuMMU under 4 KB
+ * and 2 MB pages, normalized to an oracular MMU with 4 KB demand
+ * paging (see EXPERIMENTS.md for the normalization note).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "system/embedding_system.hh"
+
+using namespace neummu;
+
+int
+main()
+{
+    bench::printHeader("Figure 16",
+                       "Demand paging sparse embeddings: 4 KB vs. "
+                       "2 MB pages, IOMMU vs. NeuMMU");
+
+    const EmbeddingSystemConfig cfg;
+    const std::vector<EmbeddingModelSpec> models = {makeNcf(),
+                                                    makeDlrm()};
+    const std::vector<unsigned> batches = {1, 4, 8};
+
+    std::printf("%-6s %-4s %-10s %-10s %10s %10s %12s %12s\n", "model",
+                "b", "pages", "mmu", "norm_perf", "faults",
+                "migrated", "useful");
+
+    std::vector<double> small_iommu, small_neummu, large_neummu;
+    for (const EmbeddingModelSpec &spec : models) {
+        for (const unsigned b : batches) {
+            const Tick oracle =
+                runDemandPaging(spec, b, PagingMmu::Oracle,
+                                smallPageShift, cfg)
+                    .totalCycles;
+            for (const unsigned shift :
+                 {smallPageShift, largePageShift}) {
+                for (const PagingMmu mmu :
+                     {PagingMmu::BaselineIommu, PagingMmu::NeuMmu}) {
+                    const DemandPagingResult r =
+                        runDemandPaging(spec, b, mmu, shift, cfg);
+                    const double norm =
+                        double(oracle) / double(r.totalCycles);
+                    std::printf("%-6s %-4u %-10s %-10s %10.4f %10llu "
+                                "%10.1fMB %10.2fMB\n",
+                                spec.name.c_str(), b,
+                                shift == smallPageShift ? "4KB" : "2MB",
+                                pagingMmuName(mmu).c_str(), norm,
+                                (unsigned long long)r.faults,
+                                double(r.migratedBytes) / double(MiB),
+                                double(r.usefulBytes) / double(MiB));
+                    if (shift == smallPageShift &&
+                        mmu == PagingMmu::BaselineIommu)
+                        small_iommu.push_back(norm);
+                    if (shift == smallPageShift &&
+                        mmu == PagingMmu::NeuMmu)
+                        small_neummu.push_back(norm);
+                    if (shift == largePageShift &&
+                        mmu == PagingMmu::NeuMmu)
+                        large_neummu.push_back(norm);
+                }
+            }
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("\naverages: 4KB IOMMU %.2f (paper ~0.17), 4KB NeuMMU "
+                "%.2f (paper ~0.96),\n2MB NeuMMU %.3f (paper ~0.01: "
+                "large pages migrate ~512x the useful bytes)\n",
+                bench::mean(small_iommu), bench::mean(small_neummu),
+                bench::mean(large_neummu));
+    return 0;
+}

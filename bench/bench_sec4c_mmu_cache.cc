@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Section IV-C design-space study: shared TPC (VA-tagged translation
+ * path cache) vs. shared UPTC (PA-tagged unified page-table cache).
+ *
+ * The structural difference is capacity efficiency: one walk path
+ * costs a TPC one entry but a UPTC three. To surface it, this bench
+ * uses (a) a VA-scattered tensor layout (every tensor in its own L4
+ * subtree, as with allocators that reserve VA at huge granularity)
+ * and (b) both LRU and FIFO replacement: under LRU, chain probes keep
+ * a UPTC's upper entries pinned and the designs converge on streaming
+ * workloads; under FIFO (a realistic choice for small hardware CAMs)
+ * the L2-entry churn flushes the UPTC's upper entries and the TPC's
+ * one-entry-per-path robustness shows, as the paper reports.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace neummu;
+
+namespace {
+
+struct CacheTotals
+{
+    std::vector<double> l4, l3, l2, uptc_hit;
+    std::uint64_t tpc_dram = 0;
+    std::uint64_t uptc_dram = 0;
+    std::uint64_t none_dram = 0;
+};
+
+CacheTotals
+runPolicy(bench::DenseSweep &sweep, MmuCacheReplacement repl,
+          std::size_t entries)
+{
+    CacheTotals totals;
+    std::printf("%-12s | %8s %8s %8s | %9s | %12s %12s\n", "workload",
+                "TPC_L4", "TPC_L3", "TPC_L2", "UPTC_hit", "TPC_dram",
+                "UPTC_dram");
+    for (const bench::GridPoint &gp : sweep.grid()) {
+        const DenseExperimentResult tpc =
+            sweep.run(gp, [&](auto &cfg) {
+                cfg.mmu = neuMmuConfig();
+                cfg.mmu.pathCache = MmuCacheKind::Tpc;
+                cfg.mmu.sharedCacheEntries = entries;
+                cfg.mmu.sharedCacheReplacement = repl;
+            });
+        const DenseExperimentResult uptc =
+            sweep.run(gp, [&](auto &cfg) {
+                cfg.mmu = neuMmuConfig();
+                cfg.mmu.pathCache = MmuCacheKind::Uptc;
+                cfg.mmu.sharedCacheEntries = entries;
+                cfg.mmu.sharedCacheReplacement = repl;
+            });
+        const DenseExperimentResult none =
+            sweep.run(gp, [](auto &cfg) {
+                cfg.mmu = neuMmuConfig();
+                cfg.mmu.pathCache = MmuCacheKind::None;
+            });
+
+        const double consults = double(tpc.pathCache.consults);
+        const double l4 = tpc.pathCache.levelHits[0] / consults;
+        const double l3 = tpc.pathCache.levelHits[1] / consults;
+        const double l2 = tpc.pathCache.levelHits[2] / consults;
+        totals.l4.push_back(l4);
+        totals.l3.push_back(l3);
+        totals.l2.push_back(l2);
+        totals.uptc_hit.push_back(uptc.uptcEntryHitRate);
+        totals.tpc_dram += tpc.mmu.walkMemAccesses;
+        totals.uptc_dram += uptc.mmu.walkMemAccesses;
+        totals.none_dram += none.mmu.walkMemAccesses;
+
+        std::printf("%-12s | %7.1f%% %7.1f%% %7.1f%% | %8.1f%% | "
+                    "%12llu %12llu\n",
+                    gp.label().c_str(), l4 * 100, l3 * 100, l2 * 100,
+                    uptc.uptcEntryHitRate * 100,
+                    (unsigned long long)tpc.mmu.walkMemAccesses,
+                    (unsigned long long)uptc.mmu.walkMemAccesses);
+        std::fflush(stdout);
+    }
+    return totals;
+}
+
+void
+printSummary(const CacheTotals &t)
+{
+    std::printf("\naverages: TPC L4/L3/L2 = %.1f%%/%.1f%%/%.1f%%, "
+                "UPTC per-entry hit = %.1f%%\n",
+                bench::mean(t.l4) * 100, bench::mean(t.l3) * 100,
+                bench::mean(t.l2) * 100,
+                bench::mean(t.uptc_hit) * 100);
+    std::printf("walk DRAM accesses: none=%llu  TPC=%llu  "
+                "UPTC=%llu\n",
+                (unsigned long long)t.none_dram,
+                (unsigned long long)t.tpc_dram,
+                (unsigned long long)t.uptc_dram);
+    if (t.none_dram > t.uptc_dram) {
+        std::printf("TPC removes %.1f%% more walk accesses than UPTC\n",
+                    100.0 * double(t.uptc_dram - t.tpc_dram) /
+                        double(t.none_dram - t.uptc_dram));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Section IV-C",
+                       "TPC vs. UPTC translation-cache design points "
+                       "(8 shared entries, scattered VA)");
+
+    bench::DenseSweep sweep;
+    sweep.baseConfig().vaScatterShift = 39;
+    constexpr std::size_t cache_entries = 8;
+
+    std::printf("--- FIFO replacement (small hardware CAM) ---\n");
+    const CacheTotals fifo =
+        runPolicy(sweep, MmuCacheReplacement::Fifo, cache_entries);
+    printSummary(fifo);
+
+    std::printf("\n--- LRU replacement ---\n");
+    const CacheTotals lru =
+        runPolicy(sweep, MmuCacheReplacement::Lru, cache_entries);
+    printSummary(lru);
+
+    std::printf("\nPaper reference: TPC hit rates 99.5/99.5/63.1%% at "
+                "L4/L3/L2, UPTC 92.4%%\nper-entry; TPC removes ~59%% "
+                "more page-table-walk traffic than UPTC,\nmotivating "
+                "the single-entry, VA-tagged TPreg (Section IV-C).\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Section VI-C: robustness of NeuMMU across the design space (PRMB
+ * slots 1..32, PTWs 64..256, TLB 128..2048) and across large batch
+ * sizes (32/64/128) on each workload's common layer configuration.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace neummu;
+
+int
+main()
+{
+    bench::printHeader("Section VI-C",
+                       "NeuMMU sensitivity: design-space sweep and "
+                       "large-batch common layers");
+
+    // Design-space sweep over a representative workload subset (one
+    // compute-bound CNN point, one memory-bound RNN point).
+    const std::vector<bench::GridPoint> subset = {
+        {WorkloadId::CNN1, 4}, {WorkloadId::CNN3, 1},
+        {WorkloadId::RNN2, 4}, {WorkloadId::RNN3, 8},
+    };
+    bench::DenseSweep sweep(subset);
+
+    std::printf("(a) design-space sweep (normalized performance)\n");
+    std::printf("%-10s %-8s %-8s %12s\n", "prmb", "ptws", "tlb",
+                "min..avg");
+    std::vector<double> all;
+    double worst = 1.0;
+    for (const unsigned prmb : {1u, 8u, 32u}) {
+        for (const unsigned ptws : {64u, 128u, 256u}) {
+            for (const std::size_t tlb : {128ul, 512ul, 2048ul}) {
+                std::vector<double> norms;
+                for (const bench::GridPoint &gp : subset) {
+                    norms.push_back(
+                        sweep.normalized(gp, [&](auto &cfg) {
+                            cfg.mmu = neuMmuConfig();
+                            cfg.mmu.prmbSlots = prmb;
+                            cfg.mmu.numPtws = ptws;
+                            cfg.mmu.tlb.entries = tlb;
+                        }));
+                }
+                const double lo =
+                    *std::min_element(norms.begin(), norms.end());
+                const double avg = bench::mean(norms);
+                worst = std::min(worst, lo);
+                all.insert(all.end(), norms.begin(), norms.end());
+                std::printf("%-10u %-8u %-8zu %6.3f..%-6.3f\n", prmb,
+                            ptws, tlb, lo, avg);
+                std::fflush(stdout);
+            }
+        }
+    }
+    std::printf("across the sweep: worst %.1f%%, average %.1f%% of "
+                "oracle (paper: never <73%%, avg 97%%)\n\n",
+                worst * 100.0, bench::mean(all) * 100.0);
+
+    // Large batches on the common layer configurations.
+    std::printf("(b) large-batch common layers (normalized "
+                "performance)\n");
+    std::printf("%-12s %-6s %10s %10s\n", "workload", "batch", "IOMMU",
+                "NeuMMU");
+    std::vector<double> iommu_all, neummu_all;
+    for (const WorkloadId id : allWorkloads()) {
+        for (const unsigned batch : {32u, 64u, 128u}) {
+            DenseExperimentConfig base;
+            base.layerOverride = makeCommonLayer(id, batch).layers;
+            base.workload = id;
+            base.batch = batch;
+
+            DenseExperimentConfig oracle_cfg = base;
+            oracle_cfg.mmu = oracleMmuConfig();
+            const Tick oracle =
+                runDenseExperiment(oracle_cfg).totalCycles;
+
+            DenseExperimentConfig iommu_cfg = base;
+            iommu_cfg.mmu = baselineIommuConfig();
+            const double iommu =
+                double(oracle) /
+                double(runDenseExperiment(iommu_cfg).totalCycles);
+
+            DenseExperimentConfig neummu_cfg = base;
+            neummu_cfg.mmu = neuMmuConfig();
+            const double neummu =
+                double(oracle) /
+                double(runDenseExperiment(neummu_cfg).totalCycles);
+
+            iommu_all.push_back(iommu);
+            neummu_all.push_back(neummu);
+            std::printf("%-12s %-6u %10.4f %10.4f\n",
+                        workloadName(id).c_str(), batch, iommu, neummu);
+            std::fflush(stdout);
+        }
+    }
+    std::printf("\nlarge-batch averages: IOMMU %.1f%% of oracle "
+                "(paper: 5.9%%), NeuMMU %.1f%% (paper: 99.9%%)\n",
+                bench::mean(iommu_all) * 100.0,
+                bench::mean(neummu_all) * 100.0);
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmarks (google-benchmark): how fast
+ * the cycle-level model itself runs. Useful for gauging sweep costs
+ * and catching performance regressions in the simulation kernel.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "driver/dense_experiment.hh"
+#include "system/embedding_system.hh"
+
+using namespace neummu;
+
+namespace {
+
+void
+BM_DenseLayerOracle(benchmark::State &state)
+{
+    DenseExperimentConfig cfg;
+    cfg.workload = WorkloadId::CNN1;
+    cfg.batch = 1;
+    cfg.mmu = oracleMmuConfig();
+    cfg.layerOverride = makeWorkload(WorkloadId::CNN1, 1).layers;
+    cfg.layerOverride.resize(2);
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        const DenseExperimentResult r = runDenseExperiment(cfg);
+        sim_cycles += r.totalCycles;
+        benchmark::DoNotOptimize(r.totalCycles);
+    }
+    state.counters["simCycles/s"] = benchmark::Counter(
+        double(sim_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DenseLayerOracle)->Unit(benchmark::kMillisecond);
+
+void
+BM_DenseLayerNeuMmu(benchmark::State &state)
+{
+    DenseExperimentConfig cfg;
+    cfg.workload = WorkloadId::CNN1;
+    cfg.batch = 1;
+    cfg.mmu = neuMmuConfig();
+    cfg.layerOverride = makeWorkload(WorkloadId::CNN1, 1).layers;
+    cfg.layerOverride.resize(2);
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        const DenseExperimentResult r = runDenseExperiment(cfg);
+        sim_cycles += r.totalCycles;
+        benchmark::DoNotOptimize(r.totalCycles);
+    }
+    state.counters["simCycles/s"] = benchmark::Counter(
+        double(sim_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DenseLayerNeuMmu)->Unit(benchmark::kMillisecond);
+
+void
+BM_DenseLayerIommu(benchmark::State &state)
+{
+    DenseExperimentConfig cfg;
+    cfg.workload = WorkloadId::CNN1;
+    cfg.batch = 1;
+    cfg.mmu = baselineIommuConfig();
+    cfg.layerOverride = makeWorkload(WorkloadId::CNN1, 1).layers;
+    cfg.layerOverride.resize(2);
+    for (auto _ : state) {
+        const DenseExperimentResult r = runDenseExperiment(cfg);
+        benchmark::DoNotOptimize(r.totalCycles);
+    }
+}
+BENCHMARK(BM_DenseLayerIommu)->Unit(benchmark::kMillisecond);
+
+void
+BM_DemandPagingDlrm(benchmark::State &state)
+{
+    const EmbeddingModelSpec spec = makeDlrm();
+    const EmbeddingSystemConfig cfg;
+    for (auto _ : state) {
+        const DemandPagingResult r = runDemandPaging(
+            spec, unsigned(state.range(0)), PagingMmu::NeuMmu,
+            smallPageShift, cfg);
+        benchmark::DoNotOptimize(r.totalCycles);
+    }
+}
+BENCHMARK(BM_DemandPagingDlrm)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

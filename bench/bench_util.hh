@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: the standard
+ * (workload x batch) grid of the paper's evaluation, oracle caching,
+ * aggregate statistics, and table formatting.
+ */
+
+#ifndef NEUMMU_BENCH_BENCH_UTIL_HH
+#define NEUMMU_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/dense_experiment.hh"
+#include "workloads/models.hh"
+
+namespace neummu {
+namespace bench {
+
+/** The paper's dense evaluation grid: 6 workloads x b01/b04/b08. */
+struct GridPoint
+{
+    WorkloadId workload;
+    unsigned batch;
+
+    std::string
+    label() const
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%s b%02u",
+                      workloadName(workload).c_str(), batch);
+        return buf;
+    }
+};
+
+inline std::vector<GridPoint>
+denseGrid(std::vector<unsigned> batches = {1, 4, 8})
+{
+    std::vector<GridPoint> grid;
+    for (const WorkloadId id : allWorkloads())
+        for (const unsigned b : batches)
+            grid.push_back(GridPoint{id, b});
+    return grid;
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const double x : xs)
+        s += x;
+    return s / double(xs.size());
+}
+
+/** Geometric mean (for normalized-performance aggregates). */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const double x : xs)
+        s += std::log(x);
+    return std::exp(s / double(xs.size()));
+}
+
+/**
+ * Runs the dense grid once per MMU configuration, normalizing each
+ * point to a cached oracle run. The mutator receives a base config
+ * (workload/batch already set) and installs the design point.
+ */
+class DenseSweep
+{
+  public:
+    using ConfigMutator = std::function<void(DenseExperimentConfig &)>;
+
+    explicit DenseSweep(std::vector<GridPoint> grid = denseGrid())
+        : _grid(std::move(grid))
+    {
+    }
+
+    /** Base config shared by oracle and design points. */
+    DenseExperimentConfig &baseConfig() { return _base; }
+
+    /** Oracle cycle count for one grid point (cached). */
+    Tick
+    oracleCycles(const GridPoint &gp)
+    {
+        const auto key = std::make_pair(int(gp.workload), gp.batch);
+        const auto it = _oracle.find(key);
+        if (it != _oracle.end())
+            return it->second;
+        DenseExperimentConfig cfg = _base;
+        cfg.workload = gp.workload;
+        cfg.batch = gp.batch;
+        cfg.mmu = oracleMmuConfig(cfg.pageShift);
+        const Tick cycles = runDenseExperiment(cfg).totalCycles;
+        _oracle.emplace(key, cycles);
+        return cycles;
+    }
+
+    /** Run one grid point under @p mutate. */
+    DenseExperimentResult
+    run(const GridPoint &gp, const ConfigMutator &mutate)
+    {
+        DenseExperimentConfig cfg = _base;
+        cfg.workload = gp.workload;
+        cfg.batch = gp.batch;
+        mutate(cfg);
+        return runDenseExperiment(cfg);
+    }
+
+    /** Normalized performance of one grid point under @p mutate. */
+    double
+    normalized(const GridPoint &gp, const ConfigMutator &mutate)
+    {
+        const DenseExperimentResult r = run(gp, mutate);
+        return double(oracleCycles(gp)) / double(r.totalCycles);
+    }
+
+    const std::vector<GridPoint> &grid() const { return _grid; }
+
+  private:
+    std::vector<GridPoint> _grid;
+    DenseExperimentConfig _base;
+    std::map<std::pair<int, unsigned>, Tick> _oracle;
+};
+
+/** Prints the standard figure header with a reproduction note. */
+inline void
+printHeader(const std::string &figure, const std::string &description)
+{
+    std::printf("================================================="
+                "===========================\n");
+    std::printf("%s -- %s\n", figure.c_str(), description.c_str());
+    std::printf("NeuMMU reproduction (Hyun et al., ASPLOS 2020)\n");
+    std::printf("================================================="
+                "===========================\n\n");
+}
+
+} // namespace bench
+} // namespace neummu
+
+#endif // NEUMMU_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,65 @@
+#include "common/arg_parser.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace neummu {
+
+ArgParser::ArgParser(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        std::string arg(argv[i]);
+        if (arg.rfind("--", 0) != 0)
+            continue;
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            _values[arg] = "true";
+        } else {
+            _values[arg.substr(0, eq)] = arg.substr(eq + 1);
+        }
+    }
+}
+
+bool
+ArgParser::has(const std::string &key) const
+{
+    return _values.count(key) > 0;
+}
+
+std::string
+ArgParser::get(const std::string &key, const std::string &default_value) const
+{
+    const auto it = _values.find(key);
+    return it == _values.end() ? default_value : it->second;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &key, std::int64_t default_value) const
+{
+    const auto it = _values.find(key);
+    if (it == _values.end())
+        return default_value;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+ArgParser::getDouble(const std::string &key, double default_value) const
+{
+    const auto it = _values.find(key);
+    if (it == _values.end())
+        return default_value;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+ArgParser::getBool(const std::string &key, bool default_value) const
+{
+    const auto it = _values.find(key);
+    if (it == _values.end())
+        return default_value;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+} // namespace neummu

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal --key=value argument parser used by bench and example
+ * binaries to override experiment parameters.
+ */
+
+#ifndef NEUMMU_COMMON_ARG_PARSER_HH
+#define NEUMMU_COMMON_ARG_PARSER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace neummu {
+
+/** Parses "--key=value" style command-line options. */
+class ArgParser
+{
+  public:
+    ArgParser(int argc, char **argv);
+
+    bool has(const std::string &key) const;
+    std::string get(const std::string &key,
+                    const std::string &default_value) const;
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t default_value) const;
+    double getDouble(const std::string &key, double default_value) const;
+    bool getBool(const std::string &key, bool default_value) const;
+
+  private:
+    std::map<std::string, std::string> _values;
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_COMMON_ARG_PARSER_HH

@@ -1,0 +1,56 @@
+#include "common/logging.hh"
+
+namespace neummu {
+
+namespace {
+LogLevel globalLevel = LogLevel::Normal;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail {
+
+void
+exitWithMessage(const char *prefix, const std::string &msg,
+                const char *file, int line, bool do_abort)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", prefix, msg.c_str(), file,
+                 line);
+    if (do_abort)
+        std::abort();
+    std::exit(1);
+}
+
+void
+message(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
+} // namespace detail
+
+void
+warn(const std::string &msg)
+{
+    if (logLevel() != LogLevel::Quiet)
+        detail::message("warn", msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    if (logLevel() != LogLevel::Quiet)
+        detail::message("info", msg);
+}
+
+} // namespace neummu

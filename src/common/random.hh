@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**). Every
+ * stochastic element of the simulator draws from an explicitly seeded
+ * Rng so experiments are bit-reproducible run to run.
+ */
+
+#ifndef NEUMMU_COMMON_RANDOM_HH
+#define NEUMMU_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace neummu {
+
+/** Small, fast, seedable PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t range(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+  private:
+    std::uint64_t s[4];
+
+    static std::uint64_t splitMix(std::uint64_t &x);
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_COMMON_RANDOM_HH

@@ -1,0 +1,78 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace neummu {
+namespace stats {
+
+Distribution::Distribution(double low, double high, std::size_t buckets)
+    : _low(low), _high(high),
+      _bucketWidth((high - low) / double(buckets ? buckets : 1)),
+      _buckets(buckets ? buckets : 1, 0)
+{
+}
+
+void
+Distribution::sample(double v)
+{
+    _count++;
+    _sum += v;
+    if (v < _low) {
+        _underflow++;
+    } else if (v >= _high) {
+        _overflow++;
+    } else {
+        auto idx = std::size_t((v - _low) / _bucketWidth);
+        if (idx >= _buckets.size())
+            idx = _buckets.size() - 1;
+        _buckets[idx]++;
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = _overflow = _count = 0;
+    _sum = 0.0;
+}
+
+Scalar &
+Group::scalar(const std::string &stat_name)
+{
+    return _scalars[stat_name];
+}
+
+Average &
+Group::average(const std::string &stat_name)
+{
+    return _averages[stat_name];
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    os << std::left;
+    for (const auto &[stat_name, s] : _scalars) {
+        os << std::setw(44) << (_name + "." + stat_name) << " "
+           << s.value() << "\n";
+    }
+    for (const auto &[stat_name, a] : _averages) {
+        os << std::setw(44) << (_name + "." + stat_name + ".mean") << " "
+           << a.mean() << "\n";
+        os << std::setw(44) << (_name + "." + stat_name + ".count") << " "
+           << a.count() << "\n";
+    }
+}
+
+void
+Group::reset()
+{
+    for (auto &[stat_name, s] : _scalars)
+        s.reset();
+    for (auto &[stat_name, a] : _averages)
+        a.reset();
+}
+
+} // namespace stats
+} // namespace neummu

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages, and
+ * distributions grouped per component, in the spirit of gem5's stats.
+ */
+
+#ifndef NEUMMU_COMMON_STATS_HH
+#define NEUMMU_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace neummu {
+namespace stats {
+
+/** A monotonically accumulating scalar counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator++() { _value += 1.0; return *this; }
+    void reset() { _value = 0.0; }
+
+    double value() const { return _value; }
+
+  private:
+    double _value = 0.0;
+};
+
+/**
+ * Running mean/min/max over sampled values. Used for per-tile and
+ * per-request latency statistics.
+ */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        _sum += v;
+        _count += 1;
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+
+    void
+    reset()
+    {
+        _sum = 0.0;
+        _count = 0;
+        _min = std::numeric_limits<double>::infinity();
+        _max = -std::numeric_limits<double>::infinity();
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bucket histogram distribution. */
+class Distribution
+{
+  public:
+    /** Create a histogram over [low, high) with @p buckets buckets. */
+    Distribution(double low = 0.0, double high = 1.0,
+                 std::size_t buckets = 16);
+
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+
+  private:
+    double _low;
+    double _high;
+    double _bucketWidth;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+};
+
+/**
+ * A named group of statistics belonging to one simulated component.
+ * Components register their counters once; dump() pretty-prints all of
+ * them with the component prefix, gem5 stats.txt style.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : _name(std::move(name)) {}
+
+    Scalar &scalar(const std::string &stat_name);
+    Average &average(const std::string &stat_name);
+
+    const std::string &name() const { return _name; }
+
+    /** Write "group.stat value" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered statistic. */
+    void reset();
+
+  private:
+    std::string _name;
+    std::map<std::string, Scalar> _scalars;
+    std::map<std::string, Average> _averages;
+};
+
+} // namespace stats
+} // namespace neummu
+
+#endif // NEUMMU_COMMON_STATS_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the NeuMMU simulator.
+ */
+
+#ifndef NEUMMU_COMMON_TYPES_HH
+#define NEUMMU_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace neummu {
+
+/** Byte address (virtual or physical, context-dependent). */
+using Addr = std::uint64_t;
+
+/**
+ * Simulation time in cycles. The baseline NPU runs its PEs at 1 GHz
+ * (Table I), so one tick equals one nanosecond.
+ */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+inline constexpr Tick maxTick = ~Tick(0);
+
+/** Sentinel for invalid addresses. */
+inline constexpr Addr invalidAddr = ~Addr(0);
+
+} // namespace neummu
+
+#endif // NEUMMU_COMMON_TYPES_HH

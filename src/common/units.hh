@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Size and page-geometry helpers.
+ */
+
+#ifndef NEUMMU_COMMON_UNITS_HH
+#define NEUMMU_COMMON_UNITS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace neummu {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/** log2 of the baseline small (4 KB) page size. */
+inline constexpr unsigned smallPageShift = 12;
+/** log2 of the large (2 MB) page size. */
+inline constexpr unsigned largePageShift = 21;
+
+/** Bits of virtual address actually translated on x86-64. */
+inline constexpr unsigned vaBits = 48;
+/** Radix-tree fanout: 9 VA bits per level, 4 levels (L4..L1). */
+inline constexpr unsigned bitsPerLevel = 9;
+inline constexpr unsigned pageTableLevels = 4;
+
+/** Returns the page size in bytes for a page shift. */
+constexpr std::uint64_t
+pageSize(unsigned page_shift)
+{
+    return std::uint64_t(1) << page_shift;
+}
+
+/** Returns the page-offset mask for a page shift. */
+constexpr std::uint64_t
+pageOffsetMask(unsigned page_shift)
+{
+    return pageSize(page_shift) - 1;
+}
+
+/** Virtual/physical page number of @p addr under @p page_shift. */
+constexpr Addr
+pageNumber(Addr addr, unsigned page_shift)
+{
+    return addr >> page_shift;
+}
+
+/** Base address of the page containing @p addr. */
+constexpr Addr
+pageBase(Addr addr, unsigned page_shift)
+{
+    return addr & ~pageOffsetMask(page_shift);
+}
+
+/**
+ * Radix-tree index of @p va at @p level, where level 4 is the root
+ * (PML4) and level 1 selects the final PTE under 4 KB pages.
+ */
+constexpr unsigned
+radixIndex(Addr va, unsigned level)
+{
+    const unsigned shift = smallPageShift + bitsPerLevel * (level - 1);
+    return (va >> shift) & ((1u << bitsPerLevel) - 1);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace neummu
+
+#endif // NEUMMU_COMMON_UNITS_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * One-call runner for the dense-DNN experiments (Sections III-IV,
+ * VI-A/B/C): builds the NPU + memory + page-table + MMU stack, tiles
+ * the workload, runs the tile pipeline layer by layer, and reports
+ * cycles, translation activity, and energy.
+ */
+
+#ifndef NEUMMU_DRIVER_DENSE_EXPERIMENT_HH
+#define NEUMMU_DRIVER_DENSE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/memory_model.hh"
+#include "mmu/energy_model.hh"
+#include "mmu/mmu_core.hh"
+#include "npu/npu_config.hh"
+#include "workloads/models.hh"
+
+namespace neummu {
+
+/** Configuration of one dense run. */
+struct DenseExperimentConfig
+{
+    WorkloadId workload = WorkloadId::CNN1;
+    unsigned batch = 1;
+    MmuConfig mmu = baselineIommuConfig();
+    NpuConfig npu{};
+    MemoryConfig memory{};
+    /** 12 (4 KB) or 21 (2 MB); must match mmu.pageShift. */
+    unsigned pageShift = smallPageShift;
+    /** Tile-buffer depth (2 = double buffering, Fig. 3). */
+    unsigned bufferDepth = 2;
+    /**
+     * VA-layout scatter shift (0 = packed segments). 39 places every
+     * tensor in its own L4 subtree, modeling allocators that reserve
+     * VA at very large granularity (used by the Section IV-C
+     * translation-cache study).
+     */
+    unsigned vaScatterShift = 0;
+    /** Override the layer list (empty = full workload). */
+    std::vector<LayerSpec> layerOverride;
+    /** Optional observation hook for issued translations (Fig. 7). */
+    std::function<void(Tick, Addr)> translationHook;
+};
+
+/** Per-layer timing record. */
+struct LayerResult
+{
+    std::string name;
+    Tick cycles = 0;
+    std::uint64_t tiles = 0;
+    std::uint64_t translations = 0;
+};
+
+/** Outcome of one dense run. */
+struct DenseExperimentResult
+{
+    Tick totalCycles = 0;
+    MmuCounts mmu;
+    /** Fig. 13 statistics (TPreg mode only). */
+    TpReg::MatchStats tpreg;
+    /** Section IV-C statistics (Tpc/Uptc modes only). */
+    MmuCacheStats pathCache;
+    double uptcEntryHitRate = 0.0;
+    double translationEnergyNj = 0.0;
+    std::uint64_t dmaStallCycles = 0;
+    std::vector<LayerResult> layers;
+};
+
+/** Run one dense experiment to completion. */
+DenseExperimentResult runDenseExperiment(
+    const DenseExperimentConfig &cfg);
+
+/**
+ * Convenience: performance of @p cfg normalized to the oracular MMU
+ * on the same NPU/memory/workload (the paper's headline metric).
+ */
+double normalizedPerformance(const DenseExperimentConfig &cfg);
+
+} // namespace neummu
+
+#endif // NEUMMU_DRIVER_DENSE_EXPERIMENT_HH

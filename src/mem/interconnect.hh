@@ -1,0 +1,64 @@
+/**
+ * @file
+ * System-interconnect link models (CPU<->NPU PCIe and NPU<->NPU
+ * high-bandwidth links) following Table I: 16 GB/s CPU<->NPU,
+ * 160 GB/s NPU<->NPU, 150-cycle NUMA access latency.
+ */
+
+#ifndef NEUMMU_MEM_INTERCONNECT_HH
+#define NEUMMU_MEM_INTERCONNECT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace neummu {
+
+/** Configuration of one unidirectional interconnect link. */
+struct LinkConfig
+{
+    /** Serialization bandwidth in bytes per cycle. */
+    double bytesPerCycle = 16.0;
+    /** One-way latency in cycles (NUMA access latency, Table I). */
+    Tick latency = 150;
+};
+
+/** Canned link configurations from Table I. */
+LinkConfig pcieLinkConfig();
+LinkConfig npuLinkConfig();
+
+/**
+ * A serializing link: transfers queue behind each other; a transfer of
+ * B bytes arriving at t completes at max(t, free) + B/bw + latency.
+ */
+class Link
+{
+  public:
+    Link(std::string name, LinkConfig cfg);
+
+    /** Completion tick for a transfer of @p bytes entering at @p now. */
+    Tick transfer(Tick now, std::uint64_t bytes);
+
+    /**
+     * Completion tick for a fine-grained (pipelined) access of
+     * @p bytes: pays serialization like transfer() but models the
+     * request/response round trip latency once per access.
+     */
+    Tick access(Tick now, std::uint64_t bytes);
+
+    const LinkConfig &config() const { return _cfg; }
+    Tick freeAt() const { return _free; }
+    stats::Group &stats() { return _stats; }
+    void reset();
+
+  private:
+    LinkConfig _cfg;
+    Tick _free = 0;
+    stats::Group _stats;
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_MEM_INTERCONNECT_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Address-translation energy model (Section IV-B/IV-C).
+ *
+ * The paper derives page-table-walk energy from the 45 nm CMOS energy
+ * table (Horowitz, "Computing's energy problem", ISSCC 2014) for the
+ * DRAM accesses of each walk step and uses CACTI 6.5 for the SRAM
+ * structures (PRMB, PTS, TLB, TPreg). We embed representative
+ * per-access constants from those sources; all reported results are
+ * energy *ratios*, which are insensitive to the absolute values as
+ * long as DRAM >> SRAM per access (it is, by ~3 orders of magnitude).
+ */
+
+#ifndef NEUMMU_MMU_ENERGY_MODEL_HH
+#define NEUMMU_MMU_ENERGY_MODEL_HH
+
+#include "mmu/translation.hh"
+
+namespace neummu {
+
+/** Per-access energies in nanojoules. */
+struct EnergyModel
+{
+    /** One DRAM access during a page-table walk (Horowitz 45 nm). */
+    double dramAccessNj = 2.6;
+    /** One lookup in a 2048-entry TLB (CACTI-class SRAM). */
+    double tlbLookupNj = 0.012;
+    /** One PTS probe (128-entry fully associative, 6 B entries). */
+    double ptsLookupNj = 0.003;
+    /** One PRMB slot access (8 B entries). */
+    double prmbAccessNj = 0.002;
+    /** One TPreg compare/update (16 B register). */
+    double tpregAccessNj = 0.0002;
+
+    /** Total translation energy implied by @p c, in nanojoules. */
+    double
+    translationEnergyNj(const MmuCounts &c) const
+    {
+        double nj = 0.0;
+        nj += dramAccessNj * double(c.walkMemAccesses);
+        nj += tlbLookupNj * double(c.tlbHits + c.tlbMisses);
+        nj += ptsLookupNj * double(c.ptsLookups);
+        nj += prmbAccessNj * double(c.prmbMerges);
+        nj += tpregAccessNj * double(c.pathCacheConsults);
+        return nj;
+    }
+};
+
+/**
+ * SRAM storage cost of the NeuMMU additions (Section IV-E arithmetic).
+ */
+struct NeuMmuSramCost
+{
+    unsigned numPtws = 128;
+    unsigned prmbSlotsPerPtw = 32;
+    unsigned prmbEntryBytes = 8;
+    unsigned tpregBytes = 16;
+    unsigned ptsEntryBytes = 6;
+
+    std::uint64_t
+    prmbBytes() const
+    {
+        return std::uint64_t(prmbEntryBytes) * prmbSlotsPerPtw * numPtws;
+    }
+    std::uint64_t tpregTotalBytes() const
+    {
+        return std::uint64_t(tpregBytes) * numPtws;
+    }
+    std::uint64_t ptsBytes() const
+    {
+        return std::uint64_t(ptsEntryBytes) * numPtws;
+    }
+    std::uint64_t
+    totalBytes() const
+    {
+        return prmbBytes() + tpregTotalBytes() + ptsBytes();
+    }
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_MMU_ENERGY_MODEL_HH

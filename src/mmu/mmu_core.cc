@@ -1,0 +1,337 @@
+#include "mmu/mmu_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace neummu {
+
+MmuConfig
+baselineIommuConfig(unsigned page_shift)
+{
+    MmuConfig cfg;
+    cfg.tlb = TlbConfig{2048, 0, 5};
+    cfg.numPtws = 8;
+    cfg.prmbSlots = 0;
+    cfg.pathCache = MmuCacheKind::None;
+    cfg.pageShift = page_shift;
+    return cfg;
+}
+
+MmuConfig
+neuMmuConfig(unsigned page_shift)
+{
+    MmuConfig cfg;
+    cfg.tlb = TlbConfig{2048, 0, 5};
+    cfg.numPtws = 128;
+    cfg.prmbSlots = 32;
+    cfg.pathCache = MmuCacheKind::TpReg;
+    cfg.pageShift = page_shift;
+    return cfg;
+}
+
+MmuConfig
+oracleMmuConfig(unsigned page_shift)
+{
+    MmuConfig cfg;
+    cfg.oracle = true;
+    cfg.pageShift = page_shift;
+    return cfg;
+}
+
+MmuCore::MmuCore(std::string name, EventQueue &eq, PageTable &pt,
+                 MmuConfig cfg)
+    : _name(std::move(name)), _eq(eq), _pt(pt), _cfg(cfg),
+      _tlb(_name + ".tlb", cfg.tlb), _stats(_name)
+{
+    NEUMMU_ASSERT(cfg.numPtws > 0 || cfg.oracle,
+                  "an MMU needs at least one walker");
+    _walkers.resize(cfg.numPtws);
+    for (unsigned i = 0; i < cfg.numPtws; i++)
+        _freeWalkers.push_back(cfg.numPtws - 1 - i);
+
+    if (cfg.pathCache == MmuCacheKind::Tpc) {
+        _tpc = std::make_unique<TranslationPathCache>(
+            cfg.sharedCacheEntries, cfg.sharedCacheReplacement);
+    } else if (cfg.pathCache == MmuCacheKind::Uptc) {
+        _uptc = std::make_unique<UnifiedPageTableCache>(
+            cfg.sharedCacheEntries, cfg.sharedCacheReplacement);
+    }
+}
+
+void
+MmuCore::setResponseCallback(ResponseCallback cb)
+{
+    _respond = std::move(cb);
+}
+
+void
+MmuCore::setWakeCallback(WakeCallback cb)
+{
+    _wake = std::move(cb);
+}
+
+void
+MmuCore::setFaultHandler(FaultHandler handler)
+{
+    _fault = std::move(handler);
+}
+
+const MmuCacheStats *
+MmuCore::sharedCacheStats() const
+{
+    if (_tpc)
+        return &_tpc->stats();
+    if (_uptc)
+        return &_uptc->stats();
+    return nullptr;
+}
+
+double
+MmuCore::uptcEntryHitRate() const
+{
+    if (!_uptc || _uptc->entryLookups() == 0)
+        return 0.0;
+    return double(_uptc->entryHits()) / double(_uptc->entryLookups());
+}
+
+void
+MmuCore::respondAt(Tick when, const TranslationResponse &resp)
+{
+    NEUMMU_ASSERT(_respond, "no response callback installed");
+    _counts.responses++;
+    _eq.schedule(when, [this, resp] { _respond(resp); });
+}
+
+bool
+MmuCore::translate(Addr va, std::uint64_t id)
+{
+    _counts.requests++;
+    const Tick now = _eq.now();
+
+    if (_cfg.oracle) {
+        WalkResult walk = _pt.walk(va);
+        Tick ready = now;
+        if (!walk.valid) {
+            NEUMMU_ASSERT(_fault,
+                          "oracle hit an unmapped page with no fault "
+                          "handler: workload setup bug");
+            _counts.faults++;
+            ready = _fault(va, now);
+            walk = _pt.walk(va);
+            NEUMMU_ASSERT(walk.valid, "fault handler did not map page");
+        }
+        respondAt(std::max(now, ready),
+                  TranslationResponse{id, va, walk.pa});
+        return true;
+    }
+
+    const Addr vpn = vpnOf(va);
+    Addr pfn = invalidAddr;
+    if (_tlb.lookup(vpn, pfn)) {
+        _counts.tlbHits++;
+        respondAt(now + _cfg.tlb.hitLatency,
+                  TranslationResponse{id, va,
+                                      (pfn << _cfg.pageShift) |
+                                          (va & pageOffsetMask(
+                                                    _cfg.pageShift))});
+        return true;
+    }
+    _counts.tlbMisses++;
+
+    if (_cfg.prmbSlots > 0) {
+        // NeuMMU path: probe the pending translation scoreboard.
+        _counts.ptsLookups++;
+        const auto it = _pts.find(vpn);
+        if (it != _pts.end()) {
+            Walker &w = _walkers[it->second];
+            // pending[0] is the initiator; merged requests occupy the
+            // PRMB slots.
+            if (w.pending.size() - 1 < _cfg.prmbSlots) {
+                w.pending.push_back(TranslationResponse{id, va,
+                                                        invalidAddr});
+                _counts.prmbMerges++;
+                return true;
+            }
+            _counts.blockedIssues++;
+            return false;
+        }
+    }
+
+    if (_freeWalkers.empty()) {
+        _counts.blockedIssues++;
+        return false;
+    }
+
+    const unsigned idx = _freeWalkers.back();
+    _freeWalkers.pop_back();
+    startWalk(idx, va, id);
+    return true;
+}
+
+void
+MmuCore::startWalk(unsigned walker_idx, Addr va, std::uint64_t id,
+                   bool is_prefetch)
+{
+    Walker &w = _walkers[walker_idx];
+    NEUMMU_ASSERT(!w.busy, "walker double allocation");
+    const Addr vpn = vpnOf(va);
+    const Tick now = _eq.now();
+
+    w.busy = true;
+    w.vpn = vpn;
+    w.pending.clear();
+    if (!is_prefetch)
+        w.pending.push_back(TranslationResponse{id, va, invalidAddr});
+    _busyWalkers++;
+
+    auto [infl, inserted] = _inflight.try_emplace(vpn, 0u);
+    if (infl->second > 0)
+        _counts.redundantWalks++;
+    infl->second++;
+
+    if (_cfg.prmbSlots > 0)
+        _pts.emplace(vpn, walker_idx);
+
+    _counts.walks++;
+
+    WalkResult walk = _pt.walk(va);
+    Tick ready = now;
+    if (!walk.valid) {
+        NEUMMU_ASSERT(_fault, "unmapped page at " + std::to_string(va) +
+                                  " with no fault handler");
+        _counts.faults++;
+        ready = _fault(va, now);
+        walk = _pt.walk(va);
+        NEUMMU_ASSERT(walk.valid, "fault handler did not map page");
+    }
+    NEUMMU_ASSERT(walk.pageShift == _cfg.pageShift,
+                  "mapping granularity differs from MMU page size");
+
+    const unsigned skipped = consultPathCache(w, va, walk);
+    const unsigned accesses = walk.levels - skipped;
+    _counts.walkMemAccesses += accesses;
+
+    // TLB-miss detection precedes the walk; the walk itself costs
+    // walkLatencyPerLevel per radix level actually read from memory.
+    const Tick start = std::max(now + _cfg.tlb.hitLatency, ready);
+    const Tick done = start + Tick(accesses) * _cfg.walkLatencyPerLevel;
+
+    _eq.schedule(done, [this, walker_idx, walk] {
+        finishWalk(walker_idx, walk);
+    });
+}
+
+unsigned
+MmuCore::consultPathCache(Walker &w, Addr va, const WalkResult &walk)
+{
+    // Path caches (TPreg/TPC) hold upper levels only: the final level
+    // is always read from memory. The unified cache additionally
+    // holds leaf PTEs, so a full chain hit skips the entire walk.
+    const unsigned max_skippable = walk.levels - 1;
+    unsigned skipped = 0;
+    switch (_cfg.pathCache) {
+      case MmuCacheKind::None:
+        return 0;
+      case MmuCacheKind::TpReg:
+        skipped = w.tpreg.match(va, max_skippable, _tpregStats);
+        break;
+      case MmuCacheKind::Tpc:
+        skipped = _tpc->lookup(va, max_skippable);
+        break;
+      case MmuCacheKind::Uptc:
+        skipped = _uptc->lookup(walk, walk.levels);
+        break;
+    }
+    _counts.pathCacheConsults++;
+    _counts.pathCacheSkippedLevels += skipped;
+    return skipped;
+}
+
+void
+MmuCore::updatePathCache(Walker &w, Addr va, const WalkResult &walk)
+{
+    switch (_cfg.pathCache) {
+      case MmuCacheKind::None:
+        break;
+      case MmuCacheKind::TpReg:
+        w.tpreg.update(va, walk);
+        break;
+      case MmuCacheKind::Tpc:
+        _tpc->update(va, walk);
+        break;
+      case MmuCacheKind::Uptc:
+        _uptc->update(walk, walk.levels);
+        break;
+    }
+}
+
+void
+MmuCore::finishWalk(unsigned walker_idx, const WalkResult &walk)
+{
+    Walker &w = _walkers[walker_idx];
+    NEUMMU_ASSERT(w.busy, "finishing an idle walker");
+    const Tick now = _eq.now();
+    const Addr vpn = w.vpn;
+    const bool was_prefetch = w.pending.empty();
+
+    _tlb.insert(vpn, walk.pa >> _cfg.pageShift);
+    const Addr representative_va =
+        was_prefetch ? (vpn << _cfg.pageShift) : w.pending.front().va;
+    updatePathCache(w, representative_va, walk);
+
+    // The initiator gets its translation at walk completion; merged
+    // PRMB entries drain back to the DMA one per cycle (Section IV-A).
+    Tick when = now;
+    for (auto &resp : w.pending) {
+        resp.pa = (walk.pa & ~pageOffsetMask(_cfg.pageShift)) |
+                  (resp.va & pageOffsetMask(_cfg.pageShift));
+        respondAt(when, resp);
+        when++;
+    }
+
+    w.busy = false;
+    w.pending.clear();
+    w.vpn = invalidAddr;
+    _busyWalkers--;
+    _freeWalkers.push_back(walker_idx);
+
+    if (_cfg.prmbSlots > 0)
+        _pts.erase(vpn);
+
+    const auto infl = _inflight.find(vpn);
+    NEUMMU_ASSERT(infl != _inflight.end(), "in-flight bookkeeping lost");
+    if (--infl->second == 0)
+        _inflight.erase(infl);
+
+    // Only demand walks trigger speculation; letting prefetch walks
+    // chain would sweep the whole mapped region unprompted.
+    if (!was_prefetch)
+        maybePrefetch(vpn);
+
+    if (_wake)
+        _wake();
+}
+
+void
+MmuCore::maybePrefetch(Addr vpn)
+{
+    if (_cfg.prefetchDepth == 0)
+        return;
+    for (unsigned i = 1; i <= _cfg.prefetchDepth; i++) {
+        if (_freeWalkers.empty())
+            return; // demand traffic keeps priority over speculation
+        const Addr next = vpn + i;
+        if (_tlb.probe(next) || _inflight.count(next))
+            continue;
+        // Never speculate past the mapped region (and never fault).
+        if (!_pt.isMapped(next << _cfg.pageShift))
+            return;
+        const unsigned idx = _freeWalkers.back();
+        _freeWalkers.pop_back();
+        _counts.prefetchWalks++;
+        startWalk(idx, next << _cfg.pageShift, 0, true);
+    }
+}
+
+} // namespace neummu

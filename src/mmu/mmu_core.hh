@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Configurable cycle-level translation engine. One class covers the
+ * whole design space the paper explores:
+ *
+ * - Oracular MMU: every translation resolves instantly (the paper's
+ *   normalization baseline, Fig. 8 caption).
+ * - Baseline IOMMU: IOTLB + a pool of hardware PTWs; a TLB-missing
+ *   request grabs a free walker even when the same virtual page is
+ *   already being walked (redundant walks, Fig. 12b).
+ * - NeuMMU: adds the PTS (pending translation scoreboard), per-PTW
+ *   PRMB merge slots, a larger walker pool, and a per-PTW TPreg.
+ *
+ * Requests that find neither a free walker nor a PRMB slot are
+ * rejected: the DMA's translation port blocks (Section IV-A).
+ */
+
+#ifndef NEUMMU_MMU_MMU_CORE_HH
+#define NEUMMU_MMU_MMU_CORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+#include "mmu/mmu_cache.hh"
+#include "mmu/tpreg.hh"
+#include "mmu/translation.hh"
+#include "sim/event_queue.hh"
+#include "tlb/tlb.hh"
+#include "vm/page_table.hh"
+
+namespace neummu {
+
+/** Full configuration of an MmuCore instance. */
+struct MmuConfig
+{
+    /** IOTLB geometry/timing (Table I defaults). */
+    TlbConfig tlb{};
+    /** Hardware page-table walkers (IOMMU: 8; NeuMMU: 128). */
+    unsigned numPtws = 8;
+    /**
+     * PRMB merge slots per PTW, counting requests merged *beyond* the
+     * walk-initiating one. 0 disables PTS+PRMB (baseline IOMMU).
+     */
+    unsigned prmbSlots = 0;
+    /** Which translation-path cache walkers consult. */
+    MmuCacheKind pathCache = MmuCacheKind::None;
+    /** Entry count for the shared Tpc/Uptc design points. */
+    std::size_t sharedCacheEntries = 16;
+    /** Replacement policy for the shared Tpc/Uptc caches. */
+    MmuCacheReplacement sharedCacheReplacement =
+        MmuCacheReplacement::Lru;
+    /** Cycles per radix level walked (Table I: 100). */
+    Tick walkLatencyPerLevel = 100;
+    /** Page size the translation stream uses (12 or 21). */
+    unsigned pageShift = smallPageShift;
+    /** Oracular mode: all translations hit with zero latency. */
+    bool oracle = false;
+    /**
+     * Sequential translation prefetch depth (extension; the paper
+     * cites TLB-prefetching work as related art). On walk completion
+     * for page p, idle walkers speculatively walk p+1..p+depth into
+     * the TLB. 0 disables prefetching.
+     */
+    unsigned prefetchDepth = 0;
+};
+
+/** Canned baseline IOMMU configuration (Table I). */
+MmuConfig baselineIommuConfig(unsigned page_shift = smallPageShift);
+/** Canned NeuMMU configuration (Section IV-D: 128 PTW, 32 PRMB). */
+MmuConfig neuMmuConfig(unsigned page_shift = smallPageShift);
+/** Canned oracular MMU configuration. */
+MmuConfig oracleMmuConfig(unsigned page_shift = smallPageShift);
+
+/**
+ * The translation engine. Timing flows through the shared EventQueue;
+ * functional translations come from the (CPU-owned) PageTable the
+ * IOMMU has walk privileges for (Section II-B).
+ */
+class MmuCore : public TranslationEngine
+{
+  public:
+    /**
+     * Demand-paging hook: invoked when a walk reaches an unmapped
+     * page. The handler must install a mapping immediately (so a
+     * re-walk succeeds) and return the tick at which the page data is
+     * actually resident; the walker stays busy until then.
+     */
+    using FaultHandler = std::function<Tick(Addr va, Tick now)>;
+
+    MmuCore(std::string name, EventQueue &eq, PageTable &pt,
+            MmuConfig cfg);
+
+    bool translate(Addr va, std::uint64_t id) override;
+    void setResponseCallback(ResponseCallback cb) override;
+    void setWakeCallback(WakeCallback cb) override;
+    const MmuCounts &counts() const override { return _counts; }
+
+    /** Install the demand-paging handler (optional). */
+    void setFaultHandler(FaultHandler handler);
+
+    const MmuConfig &config() const { return _cfg; }
+    Tlb &tlb() { return _tlb; }
+    stats::Group &stats() { return _stats; }
+
+    /** Fig. 13: per-level TPreg tag-match statistics (all PTWs). */
+    const TpReg::MatchStats &tpregStats() const { return _tpregStats; }
+    /** Section IV-C: shared-cache statistics (Tpc/Uptc modes). */
+    const MmuCacheStats *sharedCacheStats() const;
+    /** Section IV-C: UPTC per-entry hit rate. */
+    double uptcEntryHitRate() const;
+
+    /** Walkers currently busy (tests/diagnostics). */
+    unsigned busyWalkers() const { return _busyWalkers; }
+
+  private:
+    struct Walker
+    {
+        bool busy = false;
+        Addr vpn = invalidAddr;
+        /**
+         * Requests served by this walk: initiator first. Empty for
+         * speculative prefetch walks.
+         */
+        std::vector<TranslationResponse> pending;
+        TpReg tpreg;
+    };
+
+    void respondAt(Tick when, const TranslationResponse &resp);
+    void startWalk(unsigned walker_idx, Addr va, std::uint64_t id,
+                   bool is_prefetch = false);
+    void finishWalk(unsigned walker_idx, const WalkResult &walk);
+    void maybePrefetch(Addr vpn);
+    unsigned consultPathCache(Walker &w, Addr va, const WalkResult &walk);
+    void updatePathCache(Walker &w, Addr va, const WalkResult &walk);
+    Addr vpnOf(Addr va) const { return va >> _cfg.pageShift; }
+
+    std::string _name;
+    EventQueue &_eq;
+    PageTable &_pt;
+    MmuConfig _cfg;
+    Tlb _tlb;
+    std::vector<Walker> _walkers;
+    /** Free-walker stack. */
+    std::vector<unsigned> _freeWalkers;
+    unsigned _busyWalkers = 0;
+    /** PTS: in-flight VPN -> walker (only when prmbSlots > 0). */
+    std::unordered_map<Addr, unsigned> _pts;
+    /** In-flight VPN multiplicity (redundant-walk accounting). */
+    std::unordered_map<Addr, unsigned> _inflight;
+    std::unique_ptr<TranslationPathCache> _tpc;
+    std::unique_ptr<UnifiedPageTableCache> _uptc;
+    ResponseCallback _respond;
+    WakeCallback _wake;
+    FaultHandler _fault;
+    MmuCounts _counts;
+    TpReg::MatchStats _tpregStats;
+    stats::Group _stats;
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_MMU_MMU_CORE_HH

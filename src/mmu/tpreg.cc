@@ -1,0 +1,35 @@
+#include "mmu/tpreg.hh"
+
+namespace neummu {
+
+unsigned
+TpReg::match(Addr va, unsigned max_skippable, MatchStats &stats) const
+{
+    stats.consults++;
+    if (!_valid)
+        return 0;
+
+    unsigned matched = 0;
+    // Level 4 is radix level 4, stored at _idx[0]; and so on down.
+    for (unsigned i = 0; i < 3; i++) {
+        if (radixIndex(va, pageTableLevels - i) != _idx[i])
+            break;
+        stats.hits[i]++;
+        matched++;
+    }
+    return matched < max_skippable ? matched : max_skippable;
+}
+
+void
+TpReg::update(Addr va, const WalkResult &walk)
+{
+    // Only latch successful walks that reached a leaf; partial walks
+    // (faults) carry no complete path.
+    if (!walk.valid)
+        return;
+    _valid = true;
+    for (unsigned i = 0; i < 3; i++)
+        _idx[i] = radixIndex(va, pageTableLevels - i);
+}
+
+} // namespace neummu

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Translation path register (TPreg, Section IV-C): a single-entry,
+ * virtually indexed translation-path cache attached to each PTW. It
+ * stores the L4/L3/L2 indices of the last completed walk together
+ * with the physical base of the node reached at each depth, letting
+ * the walker skip the matching prefix of the radix-tree traversal.
+ */
+
+#ifndef NEUMMU_MMU_TPREG_HH
+#define NEUMMU_MMU_TPREG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "common/units.hh"
+#include "vm/page_table.hh"
+
+namespace neummu {
+
+/** Single-entry translation path register. */
+class TpReg
+{
+  public:
+    /** Per-level tag-match counters (index 0 = L4, 1 = L3, 2 = L2). */
+    struct MatchStats
+    {
+        std::array<std::uint64_t, 3> hits{};
+        std::uint64_t consults = 0;
+    };
+
+    /**
+     * Number of upper levels of a walk for @p va that this register
+     * can skip: the length of the matching (L4, L3, L2) index prefix,
+     * clamped to @p max_skippable (levels - 1, since the final level
+     * must always be read from memory).
+     *
+     * Also accumulates Fig. 13 style per-level prefix-hit statistics.
+     */
+    unsigned match(Addr va, unsigned max_skippable, MatchStats &stats) const;
+
+    /** Latch the path of a completed walk. */
+    void update(Addr va, const WalkResult &walk);
+
+    bool valid() const { return _valid; }
+
+    /** Estimated storage: 3 x 9-bit tags + 3 node pointers < 16 B. */
+    static constexpr unsigned storageBytes = 16;
+
+  private:
+    bool _valid = false;
+    std::array<unsigned, 3> _idx{}; // L4, L3, L2 indices
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_MMU_TPREG_HH

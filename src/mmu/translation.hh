@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Translation-engine interface shared by the oracular MMU, the
+ * baseline IOMMU, and NeuMMU. The DMA engine issues one translation
+ * request per cycle (Section III-C) and receives completions through a
+ * callback; a rejected issue models the blocked translation port
+ * ("any further translation requests are blocked until the translation
+ * bandwidth is available", Section IV-A).
+ */
+
+#ifndef NEUMMU_MMU_TRANSLATION_HH
+#define NEUMMU_MMU_TRANSLATION_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace neummu {
+
+/** Completion of one translation request. */
+struct TranslationResponse
+{
+    /** Caller-chosen request token. */
+    std::uint64_t id = 0;
+    /** Requested virtual address. */
+    Addr va = invalidAddr;
+    /** Translated physical address. */
+    Addr pa = invalidAddr;
+};
+
+/** Aggregate translation-activity counters, one set per engine. */
+struct MmuCounts
+{
+    std::uint64_t requests = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t tlbHits = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t walks = 0;
+    /** Walks started while the same VPN was already in flight. */
+    std::uint64_t redundantWalks = 0;
+    /** Requests absorbed by the PRMB. */
+    std::uint64_t prmbMerges = 0;
+    /** Issue-port rejections (translation bandwidth exhausted). */
+    std::uint64_t blockedIssues = 0;
+    /** DRAM transactions performed by page-table walks. */
+    std::uint64_t walkMemAccesses = 0;
+    /** Page faults taken (demand-paging experiments). */
+    std::uint64_t faults = 0;
+    /** Speculative walks issued by the sequential prefetcher. */
+    std::uint64_t prefetchWalks = 0;
+    /** PTS probe count (NeuMMU only). */
+    std::uint64_t ptsLookups = 0;
+    /** TPreg / MMU-cache consults. */
+    std::uint64_t pathCacheConsults = 0;
+    /** Page-table levels skipped thanks to TPreg / MMU cache. */
+    std::uint64_t pathCacheSkippedLevels = 0;
+};
+
+/**
+ * Abstract address-translation service as seen from the DMA engine.
+ */
+class TranslationEngine
+{
+  public:
+    using ResponseCallback =
+        std::function<void(const TranslationResponse &)>;
+    /** Invoked when previously exhausted capacity frees up. */
+    using WakeCallback = std::function<void()>;
+
+    virtual ~TranslationEngine() = default;
+
+    /**
+     * Try to issue a translation of @p va with token @p id.
+     * @return False when the request is blocked (no PTW and no PRMB
+     *         slot available); the caller must retry after a wake.
+     */
+    virtual bool translate(Addr va, std::uint64_t id) = 0;
+
+    /** Register the completion callback (call once, before use). */
+    virtual void setResponseCallback(ResponseCallback cb) = 0;
+
+    /** Register the capacity-freed callback. */
+    virtual void setWakeCallback(WakeCallback cb) = 0;
+
+    /** Activity counters. */
+    virtual const MmuCounts &counts() const = 0;
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_MMU_TRANSLATION_HH

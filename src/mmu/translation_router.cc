@@ -1,0 +1,154 @@
+#include "mmu/translation_router.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace neummu {
+
+/**
+ * One client-facing port. Tags request ids with the client index in
+ * the top byte; the router strips the tag on the way back.
+ */
+class TranslationRouter::Port : public TranslationEngine
+{
+  public:
+    Port(TranslationRouter &router, unsigned client)
+        : _router(router), _client(client)
+    {
+    }
+
+    bool
+    translate(Addr va, std::uint64_t id) override
+    {
+        NEUMMU_ASSERT((id >> clientShift) == 0,
+                      "request id collides with the client tag");
+        return _router.tryTranslate(_client, va, id);
+    }
+
+    void
+    setResponseCallback(ResponseCallback cb) override
+    {
+        _respond = std::move(cb);
+    }
+
+    void
+    setWakeCallback(WakeCallback cb) override
+    {
+        _wake = std::move(cb);
+    }
+
+    const MmuCounts &counts() const override { return _counts; }
+
+  private:
+    friend class TranslationRouter;
+
+    TranslationRouter &_router;
+    unsigned _client;
+    ResponseCallback _respond;
+    WakeCallback _wake;
+    MmuCounts _counts;
+    std::uint64_t _inflight = 0;
+    std::uint64_t _capRejections = 0;
+};
+
+TranslationRouter::TranslationRouter(TranslationEngine &engine,
+                                     unsigned num_clients,
+                                     RouterPolicy policy,
+                                     unsigned walker_budget)
+    : _engine(engine), _policy(policy)
+{
+    NEUMMU_ASSERT(num_clients > 0, "router needs at least one client");
+    NEUMMU_ASSERT(num_clients < 256, "client tag is one byte");
+    _perClientCap =
+        walker_budget >= num_clients ? walker_budget / num_clients : 1;
+    for (unsigned c = 0; c < num_clients; c++)
+        _ports.push_back(std::make_unique<Port>(*this, c));
+
+    _engine.setResponseCallback(
+        [this](const TranslationResponse &resp) { onResponse(resp); });
+    _engine.setWakeCallback([this] { onWake(); });
+}
+
+TranslationRouter::~TranslationRouter() = default;
+
+TranslationEngine &
+TranslationRouter::port(unsigned client)
+{
+    NEUMMU_ASSERT(client < _ports.size(), "client index out of range");
+    return *_ports[client];
+}
+
+std::uint64_t
+TranslationRouter::inflight(unsigned client) const
+{
+    return _ports[client]->_inflight;
+}
+
+std::uint64_t
+TranslationRouter::capRejections(unsigned client) const
+{
+    return _ports[client]->_capRejections;
+}
+
+bool
+TranslationRouter::tryTranslate(unsigned client, Addr va,
+                                std::uint64_t id)
+{
+    Port &port = *_ports[client];
+    port._counts.requests++;
+    if (_policy == RouterPolicy::Partitioned &&
+        port._inflight >= _perClientCap) {
+        port._capRejections++;
+        port._counts.blockedIssues++;
+        return false;
+    }
+    const std::uint64_t tagged =
+        (std::uint64_t(client) << clientShift) | id;
+    if (!_engine.translate(va, tagged)) {
+        port._counts.blockedIssues++;
+        return false;
+    }
+    port._inflight++;
+    return true;
+}
+
+void
+TranslationRouter::onResponse(const TranslationResponse &resp)
+{
+    const unsigned client = unsigned(resp.id >> clientShift);
+    NEUMMU_ASSERT(client < _ports.size(), "response for unknown client");
+    Port &port = *_ports[client];
+    NEUMMU_ASSERT(port._inflight > 0, "response underflow");
+    port._inflight--;
+    port._counts.responses++;
+
+    TranslationResponse untagged = resp;
+    untagged.id = resp.id & ((std::uint64_t(1) << clientShift) - 1);
+    NEUMMU_ASSERT(port._respond, "client has no response callback");
+    port._respond(untagged);
+}
+
+void
+TranslationRouter::onWake()
+{
+    // Capacity freed in the shared engine: wake every blocked client;
+    // ports with nothing pending ignore the wake. Clients with the
+    // deepest backlog re-arbitrate first, approximating the FIFO
+    // request queue of a real IOMMU front end -- this is what lets a
+    // bursty accelerator starve a quiet one under the Shared policy.
+    std::vector<Port *> order;
+    order.reserve(_ports.size());
+    for (auto &port : _ports)
+        order.push_back(port.get());
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Port *a, const Port *b) {
+                         return a->_inflight > b->_inflight;
+                     });
+    for (Port *port : order) {
+        if (port->_wake)
+            port->_wake();
+    }
+}
+
+} // namespace neummu

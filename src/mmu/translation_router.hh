@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multiplexes one TranslationEngine across several clients.
+ *
+ * The paper notes that a real IOMMU is shared by multiple accelerators
+ * (GPUs, DSPs, ISPs, NPUs) and leaves MMU resource allocation for QoS
+ * as future work (Section IV-B). This router implements that sharing
+ * substrate: each client (e.g., one NPU's DMA engine) gets a
+ * TranslationEngine-shaped port; requests are tagged with a client id
+ * and responses are demultiplexed back. Two arbitration policies:
+ *
+ * - Shared: free-for-all -- a bursty client can starve the others
+ *   (the failure mode the paper warns about).
+ * - Partitioned: each client may only hold its fair share of the
+ *   walker pool, bounding cross-client interference.
+ */
+
+#ifndef NEUMMU_MMU_TRANSLATION_ROUTER_HH
+#define NEUMMU_MMU_TRANSLATION_ROUTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mmu/translation.hh"
+
+namespace neummu {
+
+/** Walker-pool arbitration across clients. */
+enum class RouterPolicy
+{
+    Shared,      ///< no limit: first come, first served
+    Partitioned, ///< each client capped at numPtws / numClients
+};
+
+/**
+ * Fans one underlying engine out to N client ports. The router owns
+ * the engine's response/wake callbacks; construct it before handing
+ * ports to DMA engines, and do not install other callbacks on the
+ * underlying engine afterwards.
+ */
+class TranslationRouter
+{
+  public:
+    /**
+     * @param engine Underlying translation engine (e.g., the shared
+     *        IOMMU's MmuCore).
+     * @param num_clients Number of ports to expose.
+     * @param policy Arbitration policy.
+     * @param walker_budget Total walker count used to size the
+     *        per-client cap under Partitioned.
+     */
+    TranslationRouter(TranslationEngine &engine, unsigned num_clients,
+                      RouterPolicy policy, unsigned walker_budget);
+    ~TranslationRouter();
+
+    /** Client-facing port; valid for the router's lifetime. */
+    TranslationEngine &port(unsigned client);
+
+    /** Requests in flight for one client (tests/diagnostics). */
+    std::uint64_t inflight(unsigned client) const;
+
+    /** Issue-port rejections the router itself imposed (QoS cap). */
+    std::uint64_t capRejections(unsigned client) const;
+
+  private:
+    class Port;
+
+    bool tryTranslate(unsigned client, Addr va, std::uint64_t id);
+    void onResponse(const TranslationResponse &resp);
+    void onWake();
+
+    TranslationEngine &_engine;
+    RouterPolicy _policy;
+    unsigned _perClientCap;
+    std::vector<std::unique_ptr<Port>> _ports;
+
+    static constexpr unsigned clientShift = 56;
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_MMU_TRANSLATION_ROUTER_HH

@@ -1,0 +1,30 @@
+#include "npu/compute_model.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace neummu {
+
+std::uint64_t
+tileComputeCycles(const NpuConfig &cfg, std::uint64_t m, std::uint64_t k,
+                  std::uint64_t n)
+{
+    NEUMMU_ASSERT(m > 0 && k > 0 && n > 0, "degenerate GEMM tile");
+    switch (cfg.compute) {
+      case ComputeKind::Systolic: {
+        const std::uint64_t k_blocks = divCeil(k, cfg.systolicRows);
+        const std::uint64_t n_blocks = divCeil(n, cfg.systolicCols);
+        const std::uint64_t fill_drain =
+            cfg.systolicRows + cfg.systolicCols;
+        return k_blocks * n_blocks * m + fill_drain;
+      }
+      case ComputeKind::Spatial: {
+        const std::uint64_t macs = m * k * n;
+        constexpr std::uint64_t dispatch_overhead = 64;
+        return divCeil(macs, cfg.spatialMacsPerCycle) + dispatch_overhead;
+      }
+    }
+    NEUMMU_PANIC("unknown compute kind");
+}
+
+} // namespace neummu

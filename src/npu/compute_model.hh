@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Compute-phase latency models for the two NPU substrates.
+ */
+
+#ifndef NEUMMU_NPU_COMPUTE_MODEL_HH
+#define NEUMMU_NPU_COMPUTE_MODEL_HH
+
+#include <cstdint>
+
+#include "npu/npu_config.hh"
+
+namespace neummu {
+
+/**
+ * Latency of computing one GEMM tile of (m x k) * (k x n).
+ *
+ * Systolic (weight-stationary, TPU-style): each 128x128 weight block
+ * is double-buffered inside the array (per Google's weight-prefetch
+ * patent), so blocks stream back to back; each block processes the m
+ * activation rows in m cycles, plus one array fill+drain per tile.
+ *
+ * Spatial (DaDianNao/Eyeriss-class): a grid of vector-MAC PEs with an
+ * aggregate throughput of spatialMacsPerCycle, plus a fixed dispatch
+ * overhead per tile.
+ */
+std::uint64_t tileComputeCycles(const NpuConfig &cfg, std::uint64_t m,
+                                std::uint64_t k, std::uint64_t n);
+
+} // namespace neummu
+
+#endif // NEUMMU_NPU_COMPUTE_MODEL_HH

@@ -1,0 +1,154 @@
+#include "npu/dma_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace neummu {
+
+DmaEngine::DmaEngine(std::string name, EventQueue &eq,
+                     TranslationEngine &mmu, MemoryModel &mem,
+                     DmaConfig cfg)
+    : _name(std::move(name)), _eq(eq), _mmu(mmu), _mem(mem), _cfg(cfg),
+      _stats(_name)
+{
+    NEUMMU_ASSERT(cfg.burstBytes > 0, "zero DMA burst size");
+    _mmu.setResponseCallback(
+        [this](const TranslationResponse &resp) { onTranslation(resp); });
+    _mmu.setWakeCallback([this] { onWake(); });
+}
+
+void
+DmaEngine::fetch(std::vector<VaRun> runs, DoneCallback done)
+{
+    NEUMMU_ASSERT(!_active, "DMA engine supports one tile at a time");
+    _active = true;
+    _runs = std::move(runs);
+    _runIdx = 0;
+    _runOffset = 0;
+    _issuedAll = _runs.empty();
+    _inFlight = 0;
+    _blocked = false;
+    _done = std::move(done);
+
+    if (_issuedAll) {
+        // Degenerate empty fetch: complete immediately.
+        _eq.scheduleIn(0, [this] { maybeFinish(); });
+        return;
+    }
+    _issueScheduled = true;
+    _eq.scheduleIn(0, [this] { tryIssue(); });
+}
+
+bool
+DmaEngine::currentBurst(Addr &va, std::uint64_t &len) const
+{
+    if (_runIdx >= _runs.size())
+        return false;
+    const VaRun &run = _runs[_runIdx];
+    va = run.va + _runOffset;
+    const std::uint64_t remaining = run.bytes - _runOffset;
+    // Clip at burst size and at the page boundary so every burst
+    // requires exactly one translation.
+    const std::uint64_t to_page_end =
+        pageSize(_cfg.pageShift) - (va & pageOffsetMask(_cfg.pageShift));
+    len = std::min({remaining, _cfg.burstBytes, to_page_end});
+    return true;
+}
+
+void
+DmaEngine::advance(std::uint64_t len)
+{
+    _runOffset += len;
+    if (_runOffset >= _runs[_runIdx].bytes) {
+        _runIdx++;
+        _runOffset = 0;
+    }
+    if (_runIdx >= _runs.size())
+        _issuedAll = true;
+}
+
+void
+DmaEngine::tryIssue()
+{
+    _issueScheduled = false;
+    if (!_active || _issuedAll)
+        return;
+
+    Addr va = 0;
+    std::uint64_t len = 0;
+    const bool have = currentBurst(va, len);
+    NEUMMU_ASSERT(have, "issue loop ran past the tile");
+
+    const std::uint64_t id = _nextId++;
+    if (!_mmu.translate(va, id)) {
+        // Translation bandwidth exhausted: the port blocks until the
+        // MMU signals freed capacity (Section IV-A).
+        if (!_blocked) {
+            _blocked = true;
+            _blockedSince = _eq.now();
+        }
+        return;
+    }
+
+    _burstBytesById.emplace(id, len);
+    _inFlight++;
+    _translations++;
+    ++_stats.scalar("translationsIssued");
+    if (_hook)
+        _hook(_eq.now(), va);
+    advance(len);
+
+    if (!_issuedAll) {
+        // One translation request per cycle (Section III-C).
+        _issueScheduled = true;
+        _eq.scheduleIn(1, [this] { tryIssue(); });
+    }
+}
+
+void
+DmaEngine::onWake()
+{
+    if (!_blocked || _issueScheduled)
+        return;
+    _blocked = false;
+    _stallCycles += _eq.now() - _blockedSince;
+    _stats.scalar("stallCycles") +=
+        double(_eq.now() - _blockedSince);
+    _issueScheduled = true;
+    _eq.scheduleIn(1, [this] { tryIssue(); });
+}
+
+void
+DmaEngine::onTranslation(const TranslationResponse &resp)
+{
+    const auto it = _burstBytesById.find(resp.id);
+    NEUMMU_ASSERT(it != _burstBytesById.end(),
+                  "translation response for unknown burst");
+    const std::uint64_t len = it->second;
+    _burstBytesById.erase(it);
+
+    // Launch the data read; completion lands the burst in the SPM.
+    const Tick data_at = _mem.access(_eq.now(), resp.pa, len, false);
+    _bytes += len;
+    _eq.schedule(data_at, [this] {
+        NEUMMU_ASSERT(_inFlight > 0, "burst completion underflow");
+        _inFlight--;
+        maybeFinish();
+    });
+}
+
+void
+DmaEngine::maybeFinish()
+{
+    if (!_active || !_issuedAll || _inFlight != 0)
+        return;
+    _active = false;
+    auto done = std::move(_done);
+    _done = nullptr;
+    if (done)
+        done(_eq.now());
+}
+
+} // namespace neummu

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The NPU's DMA unit. It decomposes tile runs into burst-sized,
+ * page-bounded memory transactions, requests one address translation
+ * per cycle (Section III-C), and launches the data reads as soon as
+ * each translation returns, maximizing memory-level parallelism.
+ * When the MMU's translation port blocks, the DMA stalls until the
+ * MMU signals freed capacity.
+ */
+
+#ifndef NEUMMU_NPU_DMA_ENGINE_HH
+#define NEUMMU_NPU_DMA_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/memory_model.hh"
+#include "mmu/translation.hh"
+#include "npu/tile.hh"
+#include "sim/event_queue.hh"
+
+namespace neummu {
+
+/** DMA engine configuration. */
+struct DmaConfig
+{
+    /** Maximal bytes per linearized memory transaction. */
+    std::uint64_t burstBytes = 1024;
+    /** Page size bursts are clipped to (one translation per burst). */
+    unsigned pageShift = 12;
+};
+
+/**
+ * Fetches one tile at a time; the tile pipeline serializes fetches.
+ */
+class DmaEngine
+{
+  public:
+    using DoneCallback = std::function<void(Tick)>;
+    /** Observation hook: a translation was issued at @p tick for @p va. */
+    using IssueHook = std::function<void(Tick, Addr)>;
+
+    DmaEngine(std::string name, EventQueue &eq, TranslationEngine &mmu,
+              MemoryModel &mem, DmaConfig cfg);
+
+    /**
+     * Start fetching @p runs (already ordered: IA first, then W).
+     * @p done fires at the tick the last byte lands in the SPM.
+     * @pre !busy()
+     */
+    void fetch(std::vector<VaRun> runs, DoneCallback done);
+
+    bool busy() const { return _active; }
+
+    /** Install an optional per-translation observation hook (Fig. 7). */
+    void setIssueHook(IssueHook hook) { _hook = std::move(hook); }
+
+    std::uint64_t translationsIssued() const { return _translations; }
+    std::uint64_t bytesFetched() const { return _bytes; }
+    /** Cycles the issue port spent blocked on the MMU. */
+    std::uint64_t stallCycles() const { return _stallCycles; }
+    stats::Group &stats() { return _stats; }
+
+  private:
+    void tryIssue();
+    void onTranslation(const TranslationResponse &resp);
+    void onWake();
+    bool currentBurst(Addr &va, std::uint64_t &len) const;
+    void advance(std::uint64_t len);
+    void maybeFinish();
+
+    std::string _name;
+    EventQueue &_eq;
+    TranslationEngine &_mmu;
+    MemoryModel &_mem;
+    DmaConfig _cfg;
+
+    // Fetch-in-progress state.
+    bool _active = false;
+    std::vector<VaRun> _runs;
+    std::size_t _runIdx = 0;
+    std::uint64_t _runOffset = 0;
+    bool _issuedAll = false;
+    std::uint64_t _inFlight = 0;
+    bool _blocked = false;
+    Tick _blockedSince = 0;
+    bool _issueScheduled = false;
+    DoneCallback _done;
+    std::unordered_map<std::uint64_t, std::uint64_t> _burstBytesById;
+    std::uint64_t _nextId = 0;
+
+    IssueHook _hook;
+    std::uint64_t _translations = 0;
+    std::uint64_t _bytes = 0;
+    std::uint64_t _stallCycles = 0;
+    stats::Group _stats;
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_NPU_DMA_ENGINE_HH

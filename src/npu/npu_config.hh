@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Baseline NPU configuration (Table I) and alternative design points.
+ */
+
+#ifndef NEUMMU_NPU_NPU_CONFIG_HH
+#define NEUMMU_NPU_NPU_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace neummu {
+
+/** Compute-substrate microarchitecture (Section VI-B). */
+enum class ComputeKind
+{
+    /** Google TPU-style 128x128 weight-stationary systolic array. */
+    Systolic,
+    /** DaDianNao/Eyeriss-style grid of vector-MAC PEs. */
+    Spatial,
+};
+
+/** NPU core parameters (defaults follow Table I). */
+struct NpuConfig
+{
+    ComputeKind compute = ComputeKind::Systolic;
+    /** Systolic array dimensions. */
+    unsigned systolicRows = 128;
+    unsigned systolicCols = 128;
+    /** Spatial array: aggregate MACs per cycle (16x16 PEs x 16-wide). */
+    unsigned spatialMacsPerCycle = 4096;
+    /** Scratchpad capacity for activations (IA/OA buffer). */
+    std::uint64_t iaSpmBytes = 15 * MiB;
+    /** Scratchpad capacity for weights. */
+    std::uint64_t wSpmBytes = 10 * MiB;
+    /** Bytes per tensor element (bf16/int16-class datapath). */
+    unsigned elemBytes = 2;
+    /**
+     * DMA burst size: maximal bytes per linearized memory transaction.
+     * Each burst raises its own address translation, which is why the
+     * number of translations exceeds the page divergence
+     * (Section III-C): ~8 same-page bursts arrive during one walk,
+     * matching the paper's PRMB saturation point of 8-32 slots.
+     */
+    std::uint64_t dmaBurstBytes = 512;
+
+    /** Per-buffer tile budget under double buffering (Section III-C). */
+    std::uint64_t iaTileBudget() const { return iaSpmBytes / 2; }
+    std::uint64_t wTileBudget() const { return wSpmBytes / 2; }
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_NPU_NPU_CONFIG_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tile descriptors exchanged between the tiler (workloads) and the
+ * DMA engine / tile pipeline (npu).
+ */
+
+#ifndef NEUMMU_NPU_TILE_HH
+#define NEUMMU_NPU_TILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace neummu {
+
+/**
+ * One maximal contiguous virtual-address run of a tile: the tiles are
+ * multi-dimensional tensors mapped onto linear memory, so a tile
+ * decomposes into the minimum number of linearized transactions
+ * (Section I) -- these are those transactions before burst splitting.
+ */
+struct VaRun
+{
+    Addr va = invalidAddr;
+    std::uint64_t bytes = 0;
+};
+
+/** The work unit of the NPU pipeline: one tile's fetches + compute. */
+struct TileWork
+{
+    /** Input-activation tile runs (fetched first, Fig. 3). */
+    std::vector<VaRun> iaRuns;
+    /** Weight tile runs (fetched after IA, Fig. 3). */
+    std::vector<VaRun> wRuns;
+    /** Compute-phase duration for this tile. */
+    std::uint64_t computeCycles = 0;
+
+    std::uint64_t
+    fetchBytes() const
+    {
+        std::uint64_t b = 0;
+        for (const auto &r : iaRuns)
+            b += r.bytes;
+        for (const auto &r : wRuns)
+            b += r.bytes;
+        return b;
+    }
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_NPU_TILE_HH

@@ -1,0 +1,35 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+namespace neummu {
+
+bool
+EventQueue::step()
+{
+    if (_events.empty())
+        return false;
+
+    // priority_queue::top() is const; the callback must be moved out
+    // before pop, so copy the metadata and steal the callback.
+    Event ev = std::move(const_cast<Event &>(_events.top()));
+    _events.pop();
+
+    NEUMMU_ASSERT(ev.when >= _now, "event queue went backwards");
+    _now = ev.when;
+    _executed++;
+    ev.cb();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!_events.empty() && _events.top().when <= limit) {
+        if (!step())
+            break;
+    }
+    return _now;
+}
+
+} // namespace neummu

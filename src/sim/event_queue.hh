@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Discrete-event simulation kernel. All cycle-level components in the
+ * simulator (DMA engine, MMU, memory) schedule callbacks on a shared
+ * EventQueue; one tick equals one NPU clock cycle (1 GHz, Table I).
+ */
+
+#ifndef NEUMMU_SIM_EVENT_QUEUE_HH
+#define NEUMMU_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace neummu {
+
+/**
+ * A time-ordered queue of callbacks. Events scheduled for the same
+ * tick execute in (priority, insertion-order) order, which keeps the
+ * simulation deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Default event priority. Lower values execute first. */
+    static constexpr int defaultPriority = 0;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, Callback cb, int priority = defaultPriority)
+    {
+        NEUMMU_ASSERT(when >= _now, "scheduling into the past");
+        _events.push(Event{when, priority, _nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb, int priority = defaultPriority)
+    {
+        schedule(_now + delta, std::move(cb), priority);
+    }
+
+    bool empty() const { return _events.empty(); }
+    std::size_t size() const { return _events.size(); }
+
+    /** Time of the next pending event; maxTick when empty. */
+    Tick
+    nextEventTick() const
+    {
+        return _events.empty() ? maxTick : _events.top().when;
+    }
+
+    /** Execute exactly one event (the earliest); returns false if idle. */
+    bool step();
+
+    /**
+     * Run until the queue drains or simulated time would exceed
+     * @p limit. Returns the final simulated time.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Total number of events executed (for simulator stats). */
+    std::uint64_t eventsExecuted() const { return _executed; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct EventCompare
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, EventCompare> _events;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,99 @@
+#include "tlb/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace neummu {
+
+Tlb::Tlb(std::string name, TlbConfig cfg)
+    : _cfg(cfg), _stats(std::move(name))
+{
+    NEUMMU_ASSERT(cfg.entries > 0, "TLB needs at least one entry");
+    _waysPerSet = (cfg.ways == 0) ? cfg.entries : cfg.ways;
+    NEUMMU_ASSERT(cfg.entries % _waysPerSet == 0,
+                  "TLB entries must divide evenly into sets");
+    _numSets = cfg.entries / _waysPerSet;
+    _sets.resize(_numSets);
+}
+
+std::size_t
+Tlb::setOf(Addr vpn) const
+{
+    return std::size_t(vpn % _numSets);
+}
+
+bool
+Tlb::lookup(Addr vpn, Addr &pfn_out)
+{
+    Set &set = _sets[setOf(vpn)];
+    const auto it = set.index.find(vpn);
+    if (it == set.index.end()) {
+        _misses++;
+        ++_stats.scalar("misses");
+        return false;
+    }
+    // Move to MRU position.
+    set.lru.splice(set.lru.begin(), set.lru, it->second);
+    pfn_out = it->second->pfn;
+    _hits++;
+    ++_stats.scalar("hits");
+    return true;
+}
+
+bool
+Tlb::probe(Addr vpn) const
+{
+    const Set &set = _sets[setOf(vpn)];
+    return set.index.count(vpn) > 0;
+}
+
+void
+Tlb::insert(Addr vpn, Addr pfn)
+{
+    Set &set = _sets[setOf(vpn)];
+    const auto it = set.index.find(vpn);
+    if (it != set.index.end()) {
+        it->second->pfn = pfn;
+        set.lru.splice(set.lru.begin(), set.lru, it->second);
+        return;
+    }
+    if (set.lru.size() >= _waysPerSet) {
+        // Evict true-LRU victim.
+        const EntryData &victim = set.lru.back();
+        set.index.erase(victim.vpn);
+        set.lru.pop_back();
+        ++_stats.scalar("evictions");
+    }
+    set.lru.push_front(EntryData{vpn, pfn});
+    set.index[vpn] = set.lru.begin();
+}
+
+void
+Tlb::invalidate(Addr vpn)
+{
+    Set &set = _sets[setOf(vpn)];
+    const auto it = set.index.find(vpn);
+    if (it == set.index.end())
+        return;
+    set.lru.erase(it->second);
+    set.index.erase(it);
+}
+
+void
+Tlb::flush()
+{
+    for (auto &set : _sets) {
+        set.lru.clear();
+        set.index.clear();
+    }
+}
+
+std::size_t
+Tlb::size() const
+{
+    std::size_t n = 0;
+    for (const auto &set : _sets)
+        n += set.lru.size();
+    return n;
+}
+
+} // namespace neummu

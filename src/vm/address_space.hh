@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Virtual address space with named segments (IA, W, OA, embedding
+ * tables...). A segment reserves a VA range; pages may be backed
+ * eagerly from a physical node or left unmapped for demand paging.
+ */
+
+#ifndef NEUMMU_VM_ADDRESS_SPACE_HH
+#define NEUMMU_VM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/units.hh"
+#include "vm/frame_allocator.hh"
+#include "vm/page_table.hh"
+
+namespace neummu {
+
+/** One reserved virtual address region. */
+struct Segment
+{
+    std::string name;
+    Addr base = invalidAddr;
+    std::uint64_t bytes = 0;
+    unsigned pageShift = smallPageShift;
+
+    Addr end() const { return base + bytes; }
+    bool contains(Addr va) const { return va >= base && va < end(); }
+};
+
+/**
+ * Per-process (per-model) virtual address space. Segment bases are
+ * aligned to 2 MB so the same layout serves both page sizes, and the
+ * VA layout is deterministic: segments are carved from a bump cursor
+ * in allocation order, mirroring how a framework allocator would lay
+ * out the handful of large tensors dense DNNs use (Section IV-C).
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param page_table Page table receiving the mappings.
+     * @param base First virtual address handed out.
+     * @param scatter_shift When nonzero, every segment starts on a
+     *        2^scatter_shift boundary, scattering tensors across the
+     *        radix tree (e.g., 39 gives each segment its own L4
+     *        subtree, modeling allocators that reserve VA at very
+     *        large granularity). 0 packs segments densely.
+     */
+    explicit AddressSpace(PageTable &page_table,
+                          Addr base = Addr(0x100) << 30,
+                          unsigned scatter_shift = 0);
+
+    /**
+     * Reserve a VA segment of @p bytes and eagerly back every page
+     * with frames from @p node at @p page_shift granularity.
+     */
+    Segment allocateBacked(const std::string &name, std::uint64_t bytes,
+                           FrameAllocator &node, unsigned page_shift);
+
+    /**
+     * Reserve a VA segment without installing any mapping. Pages are
+     * expected to be mapped later (demand paging / migration).
+     */
+    Segment allocateUnbacked(const std::string &name, std::uint64_t bytes,
+                             unsigned page_shift);
+
+    /**
+     * Back the single page of @p segment containing @p va with a frame
+     * from @p node (used by the page-fault/migration path).
+     * @return The physical frame base chosen.
+     */
+    Addr backPage(const Segment &segment, Addr va, FrameAllocator &node);
+
+    PageTable &pageTable() { return _pageTable; }
+    const std::vector<Segment> &segments() const { return _segments; }
+
+  private:
+    PageTable &_pageTable;
+    Addr _cursor;
+    unsigned _scatterShift;
+    std::vector<Segment> _segments;
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_VM_ADDRESS_SPACE_HH

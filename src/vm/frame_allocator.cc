@@ -1,0 +1,43 @@
+#include "vm/frame_allocator.hh"
+
+#include "common/logging.hh"
+
+namespace neummu {
+
+FrameAllocator::FrameAllocator(std::string name, Addr base,
+                               std::uint64_t size)
+    : _name(std::move(name)), _base(base), _size(size), _next(base)
+{
+    NEUMMU_ASSERT(size > 0, "empty physical node");
+}
+
+Addr
+FrameAllocator::alignUp(Addr a, std::uint64_t align)
+{
+    NEUMMU_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                  "alignment must be a power of two");
+    return (a + align - 1) & ~(align - 1);
+}
+
+Addr
+FrameAllocator::allocate(std::uint64_t bytes, std::uint64_t align)
+{
+    const Addr start = alignUp(_next, align);
+    if (start + bytes > _base + _size) {
+        NEUMMU_FATAL(_name + ": out of physical memory (requested " +
+                     std::to_string(bytes) + " bytes, " +
+                     std::to_string(remaining()) + " remaining); an "
+                     "MMU-less NPU would crash here (Section I)");
+    }
+    _next = start + bytes;
+    return start;
+}
+
+bool
+FrameAllocator::wouldFit(std::uint64_t bytes, std::uint64_t align) const
+{
+    const Addr start = alignUp(_next, align);
+    return start + bytes <= _base + _size;
+}
+
+} // namespace neummu

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Physical-frame allocator for one memory node (CPU or one NPU's HBM).
+ */
+
+#ifndef NEUMMU_VM_FRAME_ALLOCATOR_HH
+#define NEUMMU_VM_FRAME_ALLOCATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace neummu {
+
+/**
+ * Bump allocator over a contiguous physical address range. The
+ * simulator never stores data, so freed frames are not recycled;
+ * capacity checks still model "working set must fit" failures of
+ * physically addressed NPUs (Section I).
+ */
+class FrameAllocator
+{
+  public:
+    /**
+     * @param name Node name for error messages (e.g., "npu0.hbm").
+     * @param base First physical address owned by this node.
+     * @param size Bytes of physical memory at this node.
+     */
+    FrameAllocator(std::string name, Addr base, std::uint64_t size);
+
+    /**
+     * Allocate @p bytes aligned to @p align (power of two).
+     * Calls fatal() if the node is out of physical memory, mirroring
+     * the runtime crash an MMU-less NPU hits on oversubscription.
+     */
+    Addr allocate(std::uint64_t bytes, std::uint64_t align);
+
+    /** True if an allocation of @p bytes (aligned) would fit. */
+    bool wouldFit(std::uint64_t bytes, std::uint64_t align) const;
+
+    Addr base() const { return _base; }
+    std::uint64_t size() const { return _size; }
+    std::uint64_t used() const { return _next - _base; }
+    std::uint64_t remaining() const { return _base + _size - _next; }
+
+    /** True if @p pa lies within this node's physical range. */
+    bool
+    owns(Addr pa) const
+    {
+        return pa >= _base && pa < _base + _size;
+    }
+
+  private:
+    std::string _name;
+    Addr _base;
+    std::uint64_t _size;
+    Addr _next;
+
+    static Addr alignUp(Addr a, std::uint64_t align);
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_VM_FRAME_ALLOCATOR_HH

@@ -1,0 +1,140 @@
+#include "vm/page_table.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace neummu {
+
+/** One page-table entry: either a pointer to a child or a leaf PFN. */
+struct PageTable::Entry
+{
+    bool valid = false;
+    bool leaf = false;
+    /** Child node (interior) -- owned by the parent node. */
+    std::unique_ptr<Node> child;
+    /** Physical frame base (leaf). */
+    Addr frame = invalidAddr;
+};
+
+/** One radix-tree node: 512 entries backed by a 4 KB physical frame. */
+struct PageTable::Node
+{
+    Addr pa = invalidAddr;
+    std::array<Entry, 512> entries;
+};
+
+PageTable::PageTable(FrameAllocator &node_allocator)
+    : _alloc(node_allocator)
+{
+    _root = std::unique_ptr<Node>(allocNode());
+}
+
+PageTable::~PageTable() = default;
+
+PageTable::Node *
+PageTable::allocNode()
+{
+    auto *node = new Node();
+    node->pa = _alloc.allocate(pageSize(smallPageShift),
+                               pageSize(smallPageShift));
+    return node;
+}
+
+Addr
+PageTable::rootPa() const
+{
+    return _root->pa;
+}
+
+void
+PageTable::map(Addr va, Addr pa, unsigned page_shift)
+{
+    NEUMMU_ASSERT(page_shift == smallPageShift ||
+                  page_shift == largePageShift,
+                  "only 4 KB and 2 MB pages are supported");
+    NEUMMU_ASSERT((va & pageOffsetMask(page_shift)) == 0,
+                  "unaligned virtual address in map()");
+    NEUMMU_ASSERT((pa & pageOffsetMask(page_shift)) == 0,
+                  "unaligned physical address in map()");
+
+    // 2 MB pages terminate at L2 (level index 2), 4 KB pages at L1.
+    const unsigned leaf_level = (page_shift == largePageShift) ? 2 : 1;
+
+    Node *node = _root.get();
+    for (unsigned level = pageTableLevels; level > leaf_level; level--) {
+        Entry &e = node->entries[radixIndex(va, level)];
+        NEUMMU_ASSERT(!(e.valid && e.leaf),
+                      "mapping under an existing large-page leaf");
+        if (!e.valid) {
+            e.valid = true;
+            e.leaf = false;
+            e.child = std::unique_ptr<Node>(allocNode());
+        }
+        node = e.child.get();
+    }
+
+    Entry &leaf = node->entries[radixIndex(va, leaf_level)];
+    NEUMMU_ASSERT(!leaf.valid, "double map of the same virtual page");
+    leaf.valid = true;
+    leaf.leaf = true;
+    leaf.frame = pa;
+    _mappedPages++;
+}
+
+void
+PageTable::unmap(Addr va)
+{
+    Node *node = _root.get();
+    for (unsigned level = pageTableLevels; level >= 1; level--) {
+        Entry &e = node->entries[radixIndex(va, level)];
+        if (!e.valid)
+            return;
+        if (e.leaf) {
+            e.valid = false;
+            e.leaf = false;
+            e.frame = invalidAddr;
+            _mappedPages--;
+            return;
+        }
+        node = e.child.get();
+    }
+}
+
+WalkResult
+PageTable::walk(Addr va) const
+{
+    WalkResult result;
+    const Node *node = _root.get();
+    for (unsigned level = pageTableLevels; level >= 1; level--) {
+        const unsigned idx = radixIndex(va, level);
+        const Entry &e = node->entries[idx];
+
+        const unsigned step = pageTableLevels - level;
+        result.nodePa[step] = node->pa;
+        result.entryPa[step] = node->pa + Addr(idx) * 8;
+        result.levels = step + 1;
+
+        if (!e.valid)
+            return result; // invalid: levels reflects steps taken
+
+        if (e.leaf) {
+            const unsigned shift =
+                (level == 2) ? largePageShift : smallPageShift;
+            result.valid = true;
+            result.pageShift = shift;
+            result.pa = e.frame | (va & pageOffsetMask(shift));
+            return result;
+        }
+        node = e.child.get();
+    }
+    NEUMMU_PANIC("page-table walk ran past L1 without a leaf");
+}
+
+bool
+PageTable::isMapped(Addr va) const
+{
+    return walk(va).valid;
+}
+
+} // namespace neummu

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * x86-64-style hierarchical 4-level page table (Section II-C).
+ *
+ * The paged virtual memory is a radix tree: 48 translated VA bits,
+ * 12-bit page offset, four 9-bit indices (L4..L1). 2 MB large pages
+ * terminate the walk at L2 (three levels). Each tree node is backed by
+ * a physical frame so walkers can report the physical address of every
+ * entry they touch -- this is what the UPTC (physically tagged MMU
+ * cache) and the walk energy accounting key off.
+ */
+
+#ifndef NEUMMU_VM_PAGE_TABLE_HH
+#define NEUMMU_VM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+#include "common/units.hh"
+#include "vm/frame_allocator.hh"
+
+namespace neummu {
+
+/** Result of walking the page table for one virtual address. */
+struct WalkResult
+{
+    /** True when the address is mapped. */
+    bool valid = false;
+    /** Translated physical address (page frame base + page offset). */
+    Addr pa = invalidAddr;
+    /** log2 page size of the mapping (12 or 21). */
+    unsigned pageShift = smallPageShift;
+    /** Number of tree levels traversed (4 for 4 KB, 3 for 2 MB). */
+    unsigned levels = 0;
+    /**
+     * Physical address of the page-table entry read at each step,
+     * ordered from the root; entries [0, levels) are meaningful.
+     */
+    std::array<Addr, pageTableLevels> entryPa{};
+    /**
+     * Physical base address of the node visited at each step (the
+     * table containing entryPa[i]); entries [0, levels) are valid.
+     */
+    std::array<Addr, pageTableLevels> nodePa{};
+};
+
+/**
+ * Functional radix page table. map()/unmap() maintain the tree;
+ * walk() returns the full translation path so timing models (PTWs)
+ * can charge per-level latency/energy and feed translation caches.
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param node_allocator Frame allocator used to back tree nodes
+     *        (typically the host node, which owns the page tables).
+     */
+    explicit PageTable(FrameAllocator &node_allocator);
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * Map the page containing @p va to the frame at @p pa.
+     * @p page_shift selects 4 KB (12) or 2 MB (21) granularity; both
+     * @p va and @p pa must be aligned to it.
+     */
+    void map(Addr va, Addr pa, unsigned page_shift);
+
+    /** Remove the mapping covering @p va (no-op when unmapped). */
+    void unmap(Addr va);
+
+    /** Translate @p va, reporting the full walk path. */
+    WalkResult walk(Addr va) const;
+
+    /** True when @p va has a valid mapping. */
+    bool isMapped(Addr va) const;
+
+    /** Number of leaf mappings currently installed. */
+    std::uint64_t mappedPages() const { return _mappedPages; }
+
+    /** Physical address of the root (CR3-equivalent). */
+    Addr rootPa() const;
+
+  private:
+    struct Node;
+    struct Entry;
+
+    Node *allocNode();
+
+    FrameAllocator &_alloc;
+    std::unique_ptr<Node> _root;
+    std::uint64_t _mappedPages = 0;
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_VM_PAGE_TABLE_HH

@@ -1,0 +1,56 @@
+#include "workloads/layer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace neummu {
+
+GemmDims
+LayerSpec::effectiveGemm() const
+{
+    if (kind == LayerKind::Gemm)
+        return gemm;
+    GemmDims dims;
+    dims.m = std::uint64_t(batch) * conv.outH() * conv.outW();
+    dims.k = std::uint64_t(conv.cin) * conv.r * conv.s;
+    dims.n = conv.cout;
+    return dims;
+}
+
+std::uint64_t
+LayerSpec::iaBytes(unsigned elem_bytes) const
+{
+    if (kind == LayerKind::Conv) {
+        return std::uint64_t(batch) * conv.cin * conv.h * conv.w *
+               elem_bytes;
+    }
+    return gemm.m * gemm.k * elem_bytes;
+}
+
+std::uint64_t
+LayerSpec::wBytes(unsigned elem_bytes) const
+{
+    const GemmDims dims = effectiveGemm();
+    return dims.k * dims.n * elem_bytes;
+}
+
+std::uint64_t
+Workload::maxIaBytes(unsigned elem_bytes) const
+{
+    std::uint64_t b = 0;
+    for (const auto &layer : layers)
+        b = std::max(b, layer.iaBytes(elem_bytes));
+    return b;
+}
+
+std::uint64_t
+Workload::maxWBytes(unsigned elem_bytes) const
+{
+    std::uint64_t b = 0;
+    for (const auto &layer : layers)
+        b = std::max(b, layer.wBytes(elem_bytes));
+    return b;
+}
+
+} // namespace neummu

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Layer and workload descriptors for the paper's benchmark suite
+ * (Section II-C): CNN-1/2/3 = AlexNet / GoogLeNet / ResNet-50,
+ * RNN-1 = DeepBench GEMV RNN, RNN-2/3 = DeepBench LSTMs.
+ */
+
+#ifndef NEUMMU_WORKLOADS_LAYER_HH
+#define NEUMMU_WORKLOADS_LAYER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neummu {
+
+/** GEMM problem dimensions: OA[m x n] = IA[m x k] * W[k x n]. */
+struct GemmDims
+{
+    std::uint64_t m = 0;
+    std::uint64_t k = 0;
+    std::uint64_t n = 0;
+
+    std::uint64_t macs() const { return m * k * n; }
+};
+
+/** How a layer's tensors are laid out and fetched. */
+enum class LayerKind
+{
+    /** Convolution: IA is an NCHW feature map; W is Cout x (Cin R S). */
+    Conv,
+    /** Dense GEMM (FC layers, RNN/LSTM timestep kernels). */
+    Gemm,
+};
+
+/** Convolution geometry. */
+struct ConvParams
+{
+    unsigned cin = 0;
+    unsigned h = 0;
+    unsigned w = 0;
+    unsigned cout = 0;
+    unsigned r = 0;
+    unsigned s = 0;
+    unsigned stride = 1;
+    unsigned pad = 0;
+
+    unsigned outH() const { return (h + 2 * pad - r) / stride + 1; }
+    unsigned outW() const { return (w + 2 * pad - s) / stride + 1; }
+};
+
+/** One layer of a workload. */
+struct LayerSpec
+{
+    std::string name;
+    LayerKind kind = LayerKind::Gemm;
+    ConvParams conv{};
+    /** For Gemm layers: full dims including batch in m. */
+    GemmDims gemm{};
+    /** Times this layer executes back to back (RNN timesteps). */
+    unsigned repeat = 1;
+    /** Batch size (conv layers tile per image). */
+    unsigned batch = 1;
+
+    /** GEMM-equivalent dimensions (conv via im2col). */
+    GemmDims effectiveGemm() const;
+    /** IA footprint in bytes (feature map for conv, matrix for GEMM). */
+    std::uint64_t iaBytes(unsigned elem_bytes) const;
+    /** Weight footprint in bytes. */
+    std::uint64_t wBytes(unsigned elem_bytes) const;
+};
+
+/** A named sequence of layers. */
+struct Workload
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    std::uint64_t maxIaBytes(unsigned elem_bytes) const;
+    std::uint64_t maxWBytes(unsigned elem_bytes) const;
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_WORKLOADS_LAYER_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The six dense DNN workloads of the paper's evaluation
+ * (Section II-C) plus the per-workload "common layer" used in the
+ * large-batch sensitivity study (Section VI-C).
+ */
+
+#ifndef NEUMMU_WORKLOADS_MODELS_HH
+#define NEUMMU_WORKLOADS_MODELS_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/layer.hh"
+
+namespace neummu {
+
+/** Identifier of a dense workload (paper naming). */
+enum class WorkloadId
+{
+    CNN1, ///< AlexNet
+    CNN2, ///< GoogLeNet
+    CNN3, ///< ResNet-50
+    RNN1, ///< DeepBench GEMV RNN (h = 2560)
+    RNN2, ///< DeepBench LSTM (h = 1024)
+    RNN3, ///< DeepBench LSTM (h = 2048)
+};
+
+/** All six workloads, in the paper's figure order. */
+const std::vector<WorkloadId> &allWorkloads();
+
+/** Paper-style short name ("CNN-1", ..., "RNN-3"). */
+std::string workloadName(WorkloadId id);
+
+/**
+ * Build the full workload for @p batch.
+ *
+ * RNN workloads simulate a reduced number of timesteps
+ * (rnnSimulatedTimesteps); steady-state per-step behavior makes the
+ * remaining steps statistically identical, mirroring how the paper
+ * truncates large-batch runs to keep simulation tractable.
+ */
+Workload makeWorkload(WorkloadId id, unsigned batch);
+
+/** Simulated RNN timesteps (DeepBench runs many more). */
+inline constexpr unsigned rnnSimulatedTimesteps = 4;
+
+/**
+ * The workload's representative "common layer configuration"
+ * (Section VI-C) at an arbitrary (large) batch size.
+ */
+Workload makeCommonLayer(WorkloadId id, unsigned batch);
+
+} // namespace neummu
+
+#endif // NEUMMU_WORKLOADS_MODELS_HH

@@ -1,0 +1,184 @@
+#include "workloads/tiler.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "npu/compute_model.hh"
+
+namespace neummu {
+
+Tiler::Tiler(NpuConfig cfg) : _cfg(cfg)
+{
+    NEUMMU_ASSERT(cfg.elemBytes > 0, "element size must be positive");
+}
+
+LayerTiling
+Tiler::tileLayer(const LayerSpec &layer, Addr ia_base, Addr w_base) const
+{
+    LayerTiling out;
+    out.dims = layer.effectiveGemm();
+    if (layer.kind == LayerKind::Conv)
+        tileConv(layer, ia_base, w_base, out);
+    else
+        tileGemm(layer, ia_base, w_base, out);
+
+    if (layer.repeat > 1) {
+        // RNN timesteps: the same tiles stream again (same VAs; the
+        // recurrent weights do not change between steps).
+        const std::size_t per_step = out.tiles.size();
+        out.tiles.reserve(per_step * layer.repeat);
+        for (unsigned r = 1; r < layer.repeat; r++) {
+            for (std::size_t i = 0; i < per_step; i++)
+                out.tiles.push_back(out.tiles[i]);
+        }
+    }
+    return out;
+}
+
+void
+Tiler::tileConv(const LayerSpec &layer, Addr ia_base, Addr w_base,
+                LayerTiling &out) const
+{
+    const ConvParams &c = layer.conv;
+    const unsigned e = _cfg.elemBytes;
+    const std::uint64_t p_out = c.outH();
+    const std::uint64_t q_out = c.outW();
+    const std::uint64_t k_dim =
+        std::uint64_t(c.cin) * c.r * c.s; // im2col K
+    const std::uint64_t row_bytes = std::uint64_t(c.w) * e;
+    const std::uint64_t channel_bytes = std::uint64_t(c.h) * row_bytes;
+    const std::uint64_t image_bytes = std::uint64_t(c.cin) * channel_bytes;
+
+    // Weight tile: Nt whole filters, each K contiguous elements
+    // (filters are stored row-major Cout x K).
+    const std::uint64_t filter_bytes = k_dim * e;
+    std::uint64_t n_t =
+        std::min<std::uint64_t>(c.cout,
+                                _cfg.wTileBudget() / filter_bytes);
+    if (n_t == 0)
+        n_t = 1; // single filter exceeds budget: stream it anyway
+
+    // IA tile: Pt output rows of one image -> a window of input rows
+    // across all Cin channels.
+    auto input_rows_for = [&](std::uint64_t pt) {
+        return std::min<std::uint64_t>(c.h, (pt - 1) * c.stride + c.r);
+    };
+    std::uint64_t p_t = p_out;
+    while (p_t > 1 &&
+           std::uint64_t(c.cin) * input_rows_for(p_t) * row_bytes >
+               _cfg.iaTileBudget()) {
+        p_t--;
+    }
+
+    for (std::uint64_t n0 = 0; n0 < c.cout; n0 += n_t) {
+        const std::uint64_t n_act =
+            std::min<std::uint64_t>(n_t, c.cout - n0);
+        for (unsigned b = 0; b < layer.batch; b++) {
+            for (std::uint64_t p0 = 0; p0 < p_out; p0 += p_t) {
+                const std::uint64_t p_act =
+                    std::min<std::uint64_t>(p_t, p_out - p0);
+                const std::uint64_t h0 =
+                    (p0 * c.stride > c.pad) ? p0 * c.stride - c.pad : 0;
+                const std::uint64_t rows = std::min<std::uint64_t>(
+                    c.h - h0, (p_act - 1) * c.stride + c.r);
+
+                TileWork tile;
+                const Addr img = ia_base + Addr(b) * image_bytes;
+                if (h0 == 0 && rows == c.h) {
+                    // Whole channels: the image window is contiguous.
+                    tile.iaRuns.push_back(
+                        VaRun{img, std::uint64_t(c.cin) * channel_bytes});
+                } else {
+                    for (unsigned ch = 0; ch < c.cin; ch++) {
+                        tile.iaRuns.push_back(VaRun{
+                            img + (Addr(ch) * c.h + h0) * row_bytes,
+                            rows * row_bytes});
+                    }
+                }
+                tile.wRuns.push_back(
+                    VaRun{w_base + n0 * filter_bytes,
+                          n_act * filter_bytes});
+                tile.computeCycles = tileComputeCycles(
+                    _cfg, p_act * q_out, k_dim, n_act);
+                out.tiles.push_back(std::move(tile));
+            }
+        }
+    }
+}
+
+void
+Tiler::tileGemm(const LayerSpec &layer, Addr ia_base, Addr w_base,
+                LayerTiling &out) const
+{
+    const GemmDims dims = layer.gemm;
+    const unsigned e = _cfg.elemBytes;
+
+    const std::uint64_t k_t = std::min(dims.k, kCapElems);
+    std::uint64_t n_t =
+        std::min(dims.n, _cfg.wTileBudget() / (k_t * e));
+    if (n_t == 0)
+        n_t = 1;
+    std::uint64_t m_t = std::min(
+        dims.m,
+        std::max<std::uint64_t>(1, _cfg.iaTileBudget() / (k_t * e)));
+
+    for (std::uint64_t n0 = 0; n0 < dims.n; n0 += n_t) {
+        const std::uint64_t n_act = std::min(n_t, dims.n - n0);
+        for (std::uint64_t k0 = 0; k0 < dims.k; k0 += k_t) {
+            const std::uint64_t k_act = std::min(k_t, dims.k - k0);
+            for (std::uint64_t m0 = 0; m0 < dims.m; m0 += m_t) {
+                const std::uint64_t m_act = std::min(m_t, dims.m - m0);
+
+                TileWork tile;
+                if (k_act == dims.k) {
+                    // Full-K rows are contiguous in the M x K matrix.
+                    tile.iaRuns.push_back(VaRun{
+                        ia_base + m0 * dims.k * e,
+                        m_act * dims.k * e});
+                } else {
+                    for (std::uint64_t m = m0; m < m0 + m_act; m++) {
+                        tile.iaRuns.push_back(VaRun{
+                            ia_base + (m * dims.k + k0) * e,
+                            k_act * e});
+                    }
+                }
+                if (n_act == dims.n) {
+                    tile.wRuns.push_back(VaRun{
+                        w_base + k0 * dims.n * e,
+                        k_act * dims.n * e});
+                } else {
+                    for (std::uint64_t k = k0; k < k0 + k_act; k++) {
+                        tile.wRuns.push_back(VaRun{
+                            w_base + (k * dims.n + n0) * e,
+                            n_act * e});
+                    }
+                }
+                tile.computeCycles =
+                    tileComputeCycles(_cfg, m_act, k_act, n_act);
+                out.tiles.push_back(std::move(tile));
+            }
+        }
+    }
+}
+
+std::uint64_t
+pageDivergence(const TileWork &tile, unsigned page_shift)
+{
+    std::unordered_set<Addr> pages;
+    auto add = [&](const std::vector<VaRun> &runs) {
+        for (const VaRun &run : runs) {
+            const Addr first = pageNumber(run.va, page_shift);
+            const Addr last =
+                pageNumber(run.va + run.bytes - 1, page_shift);
+            for (Addr p = first; p <= last; p++)
+                pages.insert(p);
+        }
+    };
+    add(tile.iaRuns);
+    add(tile.wRuns);
+    return pages.size();
+}
+
+} // namespace neummu

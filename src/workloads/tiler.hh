@@ -1,0 +1,66 @@
+/**
+ * @file
+ * SPM tiler: blocks a layer's IA and W tensors into tiles that fit
+ * the double-buffered scratchpad budgets (Section II-A) and emits,
+ * per tile, the minimal set of contiguous VA runs the DMA must fetch
+ * (the "linearized memory transactions" of Section I).
+ */
+
+#ifndef NEUMMU_WORKLOADS_TILER_HH
+#define NEUMMU_WORKLOADS_TILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "npu/npu_config.hh"
+#include "npu/tile.hh"
+#include "workloads/layer.hh"
+
+namespace neummu {
+
+/** Tile sequence of one layer, ready for the pipeline. */
+struct LayerTiling
+{
+    std::vector<TileWork> tiles;
+    GemmDims dims;
+};
+
+/** Blocks layers into SPM tiles for a given NPU configuration. */
+class Tiler
+{
+  public:
+    explicit Tiler(NpuConfig cfg);
+
+    /**
+     * Tile @p layer, with IA based at @p ia_base and W at @p w_base.
+     * The repeat count of the layer is expanded (RNN timesteps re-run
+     * the same tiles over the same addresses).
+     */
+    LayerTiling tileLayer(const LayerSpec &layer, Addr ia_base,
+                          Addr w_base) const;
+
+    /**
+     * Maximal K-extent of a GEMM tile, in elements. Bounds the number
+     * of strided weight rows per tile (and hence the page divergence,
+     * Fig. 6) while keeping tiles near the SPM budget.
+     */
+    static constexpr std::uint64_t kCapElems = 1024;
+
+    const NpuConfig &config() const { return _cfg; }
+
+  private:
+    void tileConv(const LayerSpec &layer, Addr ia_base, Addr w_base,
+                  LayerTiling &out) const;
+    void tileGemm(const LayerSpec &layer, Addr ia_base, Addr w_base,
+                  LayerTiling &out) const;
+
+    NpuConfig _cfg;
+};
+
+/** Distinct pages touched by one tile at @p page_shift (Fig. 6). */
+std::uint64_t pageDivergence(const TileWork &tile, unsigned page_shift);
+
+} // namespace neummu
+
+#endif // NEUMMU_WORKLOADS_TILER_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for common utilities: units, stats, RNG, arg parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/arg_parser.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+
+using namespace neummu;
+
+TEST(Units, PageGeometry)
+{
+    EXPECT_EQ(pageSize(smallPageShift), 4096u);
+    EXPECT_EQ(pageSize(largePageShift), 2u * MiB);
+    EXPECT_EQ(pageOffsetMask(smallPageShift), 0xfffu);
+    EXPECT_EQ(pageNumber(0x12345678, smallPageShift), 0x12345u);
+    EXPECT_EQ(pageBase(0x12345678, smallPageShift), 0x12345000u);
+}
+
+TEST(Units, RadixIndicesCoverAllLevels)
+{
+    // VA = L4:3, L3:5, L2:7, L1:9, offset 0x123.
+    const Addr va = (Addr(3) << 39) | (Addr(5) << 30) | (Addr(7) << 21) |
+                    (Addr(9) << 12) | 0x123;
+    EXPECT_EQ(radixIndex(va, 4), 3u);
+    EXPECT_EQ(radixIndex(va, 3), 5u);
+    EXPECT_EQ(radixIndex(va, 2), 7u);
+    EXPECT_EQ(radixIndex(va, 1), 9u);
+}
+
+TEST(Units, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageTracksMinMeanMax)
+{
+    stats::Average a;
+    a.sample(1.0);
+    a.sample(3.0);
+    a.sample(8.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 8.0);
+}
+
+TEST(Stats, EmptyAverageIsZero)
+{
+    stats::Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Stats, DistributionBucketsAndOverflow)
+{
+    stats::Distribution d(0.0, 10.0, 10);
+    d.sample(-1.0);
+    d.sample(0.5);
+    d.sample(9.5);
+    d.sample(42.0);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.buckets().front(), 1u);
+    EXPECT_EQ(d.buckets().back(), 1u);
+    EXPECT_EQ(d.count(), 4u);
+}
+
+TEST(Stats, GroupDumpContainsPrefixedNames)
+{
+    stats::Group g("mmu");
+    g.scalar("walks") += 7;
+    g.average("latency").sample(12.0);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("mmu.walks"), std::string::npos);
+    EXPECT_NE(text.find("mmu.latency.mean"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    bool differs = false;
+    for (int i = 0; i < 10; i++)
+        differs |= (a.next() != b.next());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(rng.range(17), 17u);
+}
+
+TEST(Rng, RangeCoversSmallDomain)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; i++)
+        seen.insert(rng.range(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; i++) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(ArgParser, ParsesKeyValueAndFlags)
+{
+    const char *argv[] = {"prog", "--batch=8", "--name=CNN-1", "--fast",
+                          "positional"};
+    ArgParser args(5, const_cast<char **>(argv));
+    EXPECT_EQ(args.getInt("batch", 1), 8);
+    EXPECT_EQ(args.get("name", ""), "CNN-1");
+    EXPECT_TRUE(args.getBool("fast", false));
+    EXPECT_FALSE(args.has("positional"));
+    EXPECT_EQ(args.getInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
+}

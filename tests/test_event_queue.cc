@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace neummu;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextEventTick(), maxTick);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickRespectsInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; i++)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; i++)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, SameTickRespectsPriority)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); }, 1);
+    eq.schedule(5, [&] { order.push_back(0); }, 0);
+    eq.schedule(5, [&] { order.push_back(-1); }, -1);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{-1, 0, 1}));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        fired++;
+        if (fired < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.scheduleIn(10, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(7, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 107u);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { fired++; });
+    eq.schedule(20, [&] { fired++; });
+    eq.schedule(30, [&] { fired++; });
+    eq.run(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 12; i++)
+        eq.schedule(Tick(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 12u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(10, [] {}), "scheduling into the past");
+}
+
+TEST(EventQueue, ZeroDelayEventRunsAtCurrentTick)
+{
+    EventQueue eq;
+    Tick seen = maxTick;
+    eq.schedule(42, [&] {
+        eq.scheduleIn(0, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+}

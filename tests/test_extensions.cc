@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the extension features: the multi-client translation
+ * router (shared-IOMMU QoS, the paper's stated future work) and the
+ * sequential translation prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hh"
+#include "mmu/mmu_core.hh"
+#include "mmu/translation_router.hh"
+#include "sim/event_queue.hh"
+#include "vm/frame_allocator.hh"
+#include "vm/page_table.hh"
+
+using namespace neummu;
+
+namespace {
+
+class RouterTest : public ::testing::Test
+{
+  protected:
+    void
+    build(MmuConfig cfg, unsigned clients, RouterPolicy policy)
+    {
+        node = std::make_unique<FrameAllocator>("host", Addr(1) << 40,
+                                                8 * GiB);
+        pt = std::make_unique<PageTable>(*node);
+        eq = std::make_unique<EventQueue>();
+        base = Addr(0x60) << 30;
+        for (unsigned i = 0; i < 512; i++) {
+            pt->map(base + Addr(i) * 4096, node->allocate(4096, 4096),
+                    smallPageShift);
+        }
+        mmu = std::make_unique<MmuCore>("mmu", *eq, *pt, cfg);
+        router = std::make_unique<TranslationRouter>(*mmu, clients,
+                                                     policy,
+                                                     cfg.numPtws);
+        responses.assign(clients, {});
+        for (unsigned c = 0; c < clients; c++) {
+            router->port(c).setResponseCallback(
+                [this, c](const TranslationResponse &r) {
+                    responses[c].push_back(r);
+                });
+        }
+    }
+
+    std::unique_ptr<FrameAllocator> node;
+    std::unique_ptr<PageTable> pt;
+    std::unique_ptr<EventQueue> eq;
+    std::unique_ptr<MmuCore> mmu;
+    std::unique_ptr<TranslationRouter> router;
+    std::vector<std::vector<TranslationResponse>> responses;
+    Addr base = 0;
+};
+
+} // namespace
+
+TEST_F(RouterTest, RoutesResponsesToTheRightClient)
+{
+    build(neuMmuConfig(), 2, RouterPolicy::Shared);
+    ASSERT_TRUE(router->port(0).translate(base, 10));
+    ASSERT_TRUE(router->port(1).translate(base + 4096, 20));
+    eq->run();
+    ASSERT_EQ(responses[0].size(), 1u);
+    ASSERT_EQ(responses[1].size(), 1u);
+    EXPECT_EQ(responses[0][0].id, 10u); // tag stripped
+    EXPECT_EQ(responses[0][0].va, base);
+    EXPECT_EQ(responses[1][0].id, 20u);
+    EXPECT_EQ(responses[1][0].va, base + 4096);
+}
+
+TEST_F(RouterTest, CountsPerClientActivity)
+{
+    build(neuMmuConfig(), 3, RouterPolicy::Shared);
+    for (unsigned i = 0; i < 4; i++)
+        ASSERT_TRUE(router->port(2).translate(base + i * 4096, i));
+    EXPECT_EQ(router->inflight(2), 4u);
+    EXPECT_EQ(router->inflight(0), 0u);
+    eq->run();
+    EXPECT_EQ(router->inflight(2), 0u);
+    EXPECT_EQ(router->port(2).counts().requests, 4u);
+    EXPECT_EQ(router->port(2).counts().responses, 4u);
+    EXPECT_EQ(router->port(0).counts().requests, 0u);
+}
+
+TEST_F(RouterTest, PartitionedPolicyCapsPerClientInflight)
+{
+    MmuConfig cfg = baselineIommuConfig();
+    cfg.numPtws = 8;
+    build(cfg, 2, RouterPolicy::Partitioned); // cap = 4 each
+    unsigned accepted = 0;
+    for (unsigned i = 0; i < 8; i++) {
+        if (router->port(0).translate(base + i * 4096, i))
+            accepted++;
+    }
+    EXPECT_EQ(accepted, 4u);
+    EXPECT_EQ(router->capRejections(0), 4u);
+    // The other client still gets the remaining walkers.
+    EXPECT_TRUE(router->port(1).translate(base + 100 * 4096, 99));
+    eq->run();
+}
+
+TEST_F(RouterTest, SharedPolicyLetsOneClientDrainThePool)
+{
+    MmuConfig cfg = baselineIommuConfig();
+    cfg.numPtws = 8;
+    build(cfg, 2, RouterPolicy::Shared);
+    for (unsigned i = 0; i < 8; i++)
+        ASSERT_TRUE(router->port(0).translate(base + i * 4096, i));
+    // Pool exhausted: the quiet client is starved (the QoS hazard).
+    EXPECT_FALSE(router->port(1).translate(base + 100 * 4096, 99));
+    eq->run();
+}
+
+TEST_F(RouterTest, WakeReachesBlockedClients)
+{
+    MmuConfig cfg = baselineIommuConfig();
+    cfg.numPtws = 1;
+    build(cfg, 2, RouterPolicy::Shared);
+    bool woke = false;
+    router->port(1).setWakeCallback([&] { woke = true; });
+    ASSERT_TRUE(router->port(0).translate(base, 1));
+    EXPECT_FALSE(router->port(1).translate(base + 4096, 2));
+    eq->run();
+    EXPECT_TRUE(woke);
+}
+
+namespace {
+
+class PrefetchTest : public ::testing::Test
+{
+  protected:
+    void
+    build(MmuConfig cfg, unsigned pages = 64)
+    {
+        node = std::make_unique<FrameAllocator>("host", Addr(1) << 40,
+                                                8 * GiB);
+        pt = std::make_unique<PageTable>(*node);
+        eq = std::make_unique<EventQueue>();
+        base = Addr(0x61) << 30;
+        for (unsigned i = 0; i < pages; i++) {
+            pt->map(base + Addr(i) * 4096, node->allocate(4096, 4096),
+                    smallPageShift);
+        }
+        mmu = std::make_unique<MmuCore>("mmu", *eq, *pt, cfg);
+        mmu->setResponseCallback([this](const TranslationResponse &r) {
+            responses.push_back({eq->now(), r});
+        });
+    }
+
+    std::unique_ptr<FrameAllocator> node;
+    std::unique_ptr<PageTable> pt;
+    std::unique_ptr<EventQueue> eq;
+    std::unique_ptr<MmuCore> mmu;
+    std::vector<std::pair<Tick, TranslationResponse>> responses;
+    Addr base = 0;
+};
+
+} // namespace
+
+TEST_F(PrefetchTest, PrefetchFillsTlbForTheNextPage)
+{
+    MmuConfig cfg = neuMmuConfig();
+    cfg.prefetchDepth = 1;
+    build(cfg);
+    ASSERT_TRUE(mmu->translate(base, 1));
+    eq->run();
+    EXPECT_EQ(mmu->counts().prefetchWalks, 1u);
+    // The neighbor page is now a TLB hit: response after 5 cycles.
+    const Tick t0 = eq->now();
+    ASSERT_TRUE(mmu->translate(base + 4096 + 8, 2));
+    eq->run();
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[1].first - t0, 5u);
+    EXPECT_EQ(mmu->counts().tlbHits, 1u);
+}
+
+TEST_F(PrefetchTest, PrefetchNeverCrossesTheMappedRegion)
+{
+    MmuConfig cfg = neuMmuConfig();
+    cfg.prefetchDepth = 8;
+    build(cfg, 2); // only 2 pages mapped
+    ASSERT_TRUE(mmu->translate(base, 1));
+    eq->run(); // must not fault/panic past page 1
+    EXPECT_LE(mmu->counts().prefetchWalks, 1u);
+}
+
+TEST_F(PrefetchTest, PrefetchSkipsAlreadyCachedPages)
+{
+    MmuConfig cfg = neuMmuConfig();
+    cfg.prefetchDepth = 2;
+    build(cfg);
+    ASSERT_TRUE(mmu->translate(base, 1));
+    eq->run();
+    const std::uint64_t first = mmu->counts().prefetchWalks;
+    // Demand-translating the prefetched page must not re-prefetch it.
+    ASSERT_TRUE(mmu->translate(base + 4096, 2));
+    eq->run();
+    EXPECT_GE(mmu->counts().prefetchWalks, first);
+    EXPECT_EQ(mmu->counts().walks,
+              1u + first + mmu->counts().prefetchWalks - first);
+}
+
+TEST_F(PrefetchTest, ZeroDepthNeverSpeculates)
+{
+    build(neuMmuConfig());
+    for (unsigned i = 0; i < 16; i++)
+        ASSERT_TRUE(mmu->translate(base + i * 4096, i));
+    eq->run();
+    EXPECT_EQ(mmu->counts().prefetchWalks, 0u);
+}
+
+TEST_F(PrefetchTest, DemandTrafficKeepsPriorityOverSpeculation)
+{
+    MmuConfig cfg = baselineIommuConfig();
+    cfg.numPtws = 1; // the single walker must never be stolen
+    cfg.prefetchDepth = 4;
+    build(cfg);
+    ASSERT_TRUE(mmu->translate(base, 1));
+    eq->run();
+    // With one walker, prefetches may run only while it is idle; all
+    // demand requests must still complete.
+    for (unsigned i = 8; i < 12; i++) {
+        while (!mmu->translate(base + Addr(i) * 4096, i))
+            eq->step();
+        eq->run();
+    }
+    EXPECT_EQ(mmu->counts().responses, 5u);
+}

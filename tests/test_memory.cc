@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the memory model and interconnect links.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "mem/interconnect.hh"
+#include "mem/memory_model.hh"
+
+using namespace neummu;
+
+namespace {
+
+MemoryConfig
+tableOneMemory()
+{
+    return MemoryConfig{}; // defaults follow Table I
+}
+
+} // namespace
+
+TEST(MemoryModel, TableOneDefaults)
+{
+    MemoryModel mem("m", tableOneMemory());
+    EXPECT_EQ(mem.config().channels, 8u);
+    EXPECT_DOUBLE_EQ(mem.config().bytesPerCycle, 600.0);
+    EXPECT_EQ(mem.config().accessLatency, 100u);
+}
+
+TEST(MemoryModel, SingleSmallAccessPaysLatency)
+{
+    MemoryModel mem("m", tableOneMemory());
+    // 64 B on one channel: 1 busy cycle + 100 cycles latency.
+    const Tick done = mem.access(0, 0, 64, false);
+    EXPECT_EQ(done, 101u);
+}
+
+TEST(MemoryModel, LargeAccessIsBandwidthBound)
+{
+    MemoryModel mem("m", tableOneMemory());
+    // 6 MB at 600 B/cycle aggregate: ~10486 cycles + latency.
+    const Tick done = mem.access(0, 0, 6 * MiB, false);
+    const double ideal = double(6 * MiB) / 600.0;
+    EXPECT_GT(done, Tick(ideal));
+    EXPECT_LT(done, Tick(ideal * 1.1) + 200);
+}
+
+TEST(MemoryModel, BackToBackAccessesSerializeOnAChannel)
+{
+    MemoryConfig cfg;
+    cfg.channels = 1;
+    cfg.bytesPerCycle = 64.0;
+    cfg.accessLatency = 10;
+    MemoryModel mem("m", cfg);
+    const Tick first = mem.access(0, 0, 640, false);  // 10 busy + 10
+    const Tick second = mem.access(0, 0, 640, false); // queued behind
+    EXPECT_EQ(first, 20u);
+    EXPECT_EQ(second, 30u);
+}
+
+TEST(MemoryModel, ChannelsInterleaveByAddress)
+{
+    MemoryConfig cfg;
+    cfg.channels = 2;
+    cfg.bytesPerCycle = 2.0; // 1 B/cycle/channel
+    cfg.accessLatency = 0;
+    cfg.interleaveBytes = 256;
+    MemoryModel mem("m", cfg);
+    // Two 256 B accesses to different channels overlap fully...
+    const Tick a = mem.access(0, 0, 256, false);
+    const Tick b = mem.access(0, 256, 256, false);
+    EXPECT_EQ(a, 256u);
+    EXPECT_EQ(b, 256u);
+    // ...while a third to channel 0 queues.
+    const Tick c = mem.access(0, 512, 256, false);
+    EXPECT_EQ(c, 512u);
+}
+
+TEST(MemoryModel, AccessSpanningChannelsUsesBoth)
+{
+    MemoryConfig cfg;
+    cfg.channels = 2;
+    cfg.bytesPerCycle = 2.0;
+    cfg.accessLatency = 0;
+    cfg.interleaveBytes = 256;
+    MemoryModel mem("m", cfg);
+    // 512 B spanning both channels: each serves 256 B in parallel.
+    const Tick done = mem.access(0, 0, 512, false);
+    EXPECT_EQ(done, 256u);
+}
+
+TEST(MemoryModel, TracksByteStats)
+{
+    MemoryModel mem("m", tableOneMemory());
+    mem.access(0, 0, 1000, false);
+    mem.access(0, 4096, 500, true);
+    EXPECT_DOUBLE_EQ(mem.stats().scalar("bytesRead").value(), 1000.0);
+    EXPECT_DOUBLE_EQ(mem.stats().scalar("bytesWritten").value(), 500.0);
+    EXPECT_DOUBLE_EQ(mem.stats().scalar("accesses").value(), 2.0);
+}
+
+TEST(MemoryModel, ResetClearsChannelState)
+{
+    MemoryModel mem("m", tableOneMemory());
+    mem.access(0, 0, 1 * MiB, false);
+    EXPECT_GT(mem.earliestFree(), 0u);
+    mem.reset();
+    EXPECT_EQ(mem.earliestFree(), 0u);
+}
+
+TEST(MemoryModelDeath, ZeroBytesPanics)
+{
+    MemoryModel mem("m", tableOneMemory());
+    EXPECT_DEATH(mem.access(0, 0, 0, false), "zero-byte");
+}
+
+TEST(Link, TableOneConfigs)
+{
+    EXPECT_DOUBLE_EQ(pcieLinkConfig().bytesPerCycle, 16.0);
+    EXPECT_DOUBLE_EQ(npuLinkConfig().bytesPerCycle, 160.0);
+    EXPECT_EQ(pcieLinkConfig().latency, 150u);
+}
+
+TEST(Link, TransferPaysSerializationPlusLatency)
+{
+    Link link("l", LinkConfig{16.0, 150});
+    // 1600 B at 16 B/cycle = 100 cycles + 150 latency.
+    EXPECT_EQ(link.transfer(0, 1600), 250u);
+}
+
+TEST(Link, TransfersQueueBehindEachOther)
+{
+    Link link("l", LinkConfig{16.0, 150});
+    const Tick a = link.transfer(0, 1600);
+    const Tick b = link.transfer(0, 1600);
+    EXPECT_EQ(a, 250u);
+    EXPECT_EQ(b, 350u); // starts at 100, +100 busy, +150 latency
+}
+
+TEST(Link, AccessPaysRoundTrip)
+{
+    Link link("l", LinkConfig{16.0, 150});
+    // 16 B access: 1 busy cycle + 2x150 round trip.
+    EXPECT_EQ(link.access(0, 16), 301u);
+}
+
+TEST(Link, ResetClearsBusyState)
+{
+    Link link("l", LinkConfig{16.0, 150});
+    link.transfer(0, 16000);
+    EXPECT_GT(link.freeAt(), 0u);
+    link.reset();
+    EXPECT_EQ(link.freeAt(), 0u);
+}

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Unit tests for MmuCore: oracle behavior, TLB interaction, PTS/PRMB
+ * merging, walker-pool backpressure, TPreg level skipping, redundant
+ * walks in the baseline IOMMU, and fault handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/units.hh"
+#include "mmu/mmu_core.hh"
+#include "sim/event_queue.hh"
+#include "vm/frame_allocator.hh"
+#include "vm/page_table.hh"
+
+using namespace neummu;
+
+namespace {
+
+/** Test fixture wiring an MmuCore to a small mapped region. */
+class MmuCoreTest : public ::testing::Test
+{
+  protected:
+    MmuCoreTest() : node("host", Addr(1) << 40, 4 * GiB), pt(node) {}
+
+    void
+    build(MmuConfig cfg, std::uint64_t pages = 64)
+    {
+        base = Addr(0x80) << 30;
+        for (std::uint64_t i = 0; i < pages; i++) {
+            pt.map(base + i * 4096, node.allocate(4096, 4096),
+                   smallPageShift);
+        }
+        mmu = std::make_unique<MmuCore>("mmu", eq, pt, cfg);
+        mmu->setResponseCallback([this](const TranslationResponse &r) {
+            responses.push_back({eq.now(), r});
+        });
+        mmu->setWakeCallback([this] { wakes++; });
+    }
+
+    FrameAllocator node;
+    PageTable pt;
+    EventQueue eq;
+    std::unique_ptr<MmuCore> mmu;
+    Addr base = 0;
+    std::vector<std::pair<Tick, TranslationResponse>> responses;
+    unsigned wakes = 0;
+};
+
+} // namespace
+
+TEST_F(MmuCoreTest, OracleRespondsInstantly)
+{
+    build(oracleMmuConfig());
+    ASSERT_TRUE(mmu->translate(base + 0x123, 1));
+    eq.run();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].first, 0u); // zero latency
+    EXPECT_EQ(responses[0].second.id, 1u);
+    EXPECT_EQ(responses[0].second.pa & 0xfff, 0x123u);
+    EXPECT_EQ(mmu->counts().walks, 0u);
+    EXPECT_EQ(mmu->counts().walkMemAccesses, 0u);
+}
+
+TEST_F(MmuCoreTest, ColdMissWalksFourLevels)
+{
+    build(baselineIommuConfig());
+    ASSERT_TRUE(mmu->translate(base, 1));
+    eq.run();
+    ASSERT_EQ(responses.size(), 1u);
+    // 5 cycles TLB miss detection + 4 x 100 cycles of walk.
+    EXPECT_EQ(responses[0].first, 405u);
+    EXPECT_EQ(mmu->counts().walks, 1u);
+    EXPECT_EQ(mmu->counts().walkMemAccesses, 4u);
+    EXPECT_EQ(mmu->counts().tlbMisses, 1u);
+}
+
+TEST_F(MmuCoreTest, WalkFillsTlbForLaterHits)
+{
+    build(baselineIommuConfig());
+    ASSERT_TRUE(mmu->translate(base, 1));
+    eq.run();
+    ASSERT_TRUE(mmu->translate(base + 8, 2));
+    const Tick t0 = eq.now();
+    eq.run();
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[1].first - t0, 5u); // TLB hit latency
+    EXPECT_EQ(mmu->counts().tlbHits, 1u);
+    EXPECT_EQ(mmu->counts().walks, 1u);
+}
+
+TEST_F(MmuCoreTest, BaselineIommuDoesRedundantWalksForSamePage)
+{
+    build(baselineIommuConfig());
+    // Both requests target the same page before any walk finishes:
+    // the IOMMU has no PTS, so both burn a walker.
+    ASSERT_TRUE(mmu->translate(base + 0, 1));
+    ASSERT_TRUE(mmu->translate(base + 64, 2));
+    EXPECT_EQ(mmu->busyWalkers(), 2u);
+    eq.run();
+    EXPECT_EQ(mmu->counts().walks, 2u);
+    EXPECT_EQ(mmu->counts().redundantWalks, 1u);
+    EXPECT_EQ(mmu->counts().prmbMerges, 0u);
+}
+
+TEST_F(MmuCoreTest, NeuMmuMergesSamePageIntoPrmb)
+{
+    build(neuMmuConfig());
+    ASSERT_TRUE(mmu->translate(base + 0, 1));
+    ASSERT_TRUE(mmu->translate(base + 64, 2));
+    ASSERT_TRUE(mmu->translate(base + 128, 3));
+    EXPECT_EQ(mmu->busyWalkers(), 1u); // one walk, two merges
+    eq.run();
+    EXPECT_EQ(mmu->counts().walks, 1u);
+    EXPECT_EQ(mmu->counts().prmbMerges, 2u);
+    ASSERT_EQ(responses.size(), 3u);
+    // Initiator answered at walk completion; merged requests drain
+    // one per cycle after it.
+    std::map<std::uint64_t, Tick> at;
+    for (const auto &[tick, resp] : responses)
+        at[resp.id] = tick;
+    EXPECT_EQ(at[2], at[1] + 1);
+    EXPECT_EQ(at[3], at[1] + 2);
+}
+
+TEST_F(MmuCoreTest, MergedResponsesCarryTheirOwnOffsets)
+{
+    build(neuMmuConfig());
+    ASSERT_TRUE(mmu->translate(base + 0x10, 1));
+    ASSERT_TRUE(mmu->translate(base + 0x20, 2));
+    eq.run();
+    for (const auto &[tick, resp] : responses) {
+        EXPECT_EQ(resp.pa & 0xfff, resp.va & 0xfff);
+    }
+}
+
+TEST_F(MmuCoreTest, PrmbCapacityBlocksFurtherSamePageRequests)
+{
+    MmuConfig cfg = neuMmuConfig();
+    cfg.prmbSlots = 2;
+    build(cfg);
+    ASSERT_TRUE(mmu->translate(base + 0, 1));
+    ASSERT_TRUE(mmu->translate(base + 8, 2));
+    ASSERT_TRUE(mmu->translate(base + 16, 3));
+    // PRMB(2) is now full: the 4th same-page request is rejected.
+    EXPECT_FALSE(mmu->translate(base + 24, 4));
+    EXPECT_EQ(mmu->counts().blockedIssues, 1u);
+    eq.run();
+    EXPECT_EQ(responses.size(), 3u);
+}
+
+TEST_F(MmuCoreTest, WalkerPoolExhaustionBlocks)
+{
+    MmuConfig cfg = baselineIommuConfig();
+    cfg.numPtws = 2;
+    build(cfg);
+    ASSERT_TRUE(mmu->translate(base + 0 * 4096, 1));
+    ASSERT_TRUE(mmu->translate(base + 1 * 4096, 2));
+    EXPECT_FALSE(mmu->translate(base + 2 * 4096, 3));
+    EXPECT_EQ(mmu->counts().blockedIssues, 1u);
+    eq.run();
+    // A wake fired when walkers freed up.
+    EXPECT_GT(wakes, 0u);
+}
+
+TEST_F(MmuCoreTest, WakeFiresOnEveryWalkCompletion)
+{
+    build(baselineIommuConfig());
+    ASSERT_TRUE(mmu->translate(base, 1));
+    ASSERT_TRUE(mmu->translate(base + 4096, 2));
+    eq.run();
+    EXPECT_EQ(wakes, 2u);
+}
+
+TEST_F(MmuCoreTest, TpRegSkipsSharedPathLevels)
+{
+    MmuConfig cfg = neuMmuConfig();
+    cfg.numPtws = 1; // single walker => sequential TPreg reuse
+    build(cfg);
+    ASSERT_TRUE(mmu->translate(base, 1));
+    eq.run();
+    EXPECT_EQ(mmu->counts().walkMemAccesses, 4u);
+    // Next page shares L4/L3/L2: only the final level is read.
+    ASSERT_TRUE(mmu->translate(base + 4096, 2));
+    eq.run();
+    EXPECT_EQ(mmu->counts().walkMemAccesses, 5u);
+    EXPECT_EQ(mmu->counts().pathCacheSkippedLevels, 3u);
+    // And the walk was 1 level: 5 (TLB) + 100 cycles.
+    EXPECT_EQ(responses[1].first - responses[0].first, 105u);
+}
+
+TEST_F(MmuCoreTest, SharedTpcModeSkipsAcrossWalkers)
+{
+    MmuConfig cfg = neuMmuConfig();
+    cfg.pathCache = MmuCacheKind::Tpc;
+    cfg.sharedCacheEntries = 8;
+    build(cfg);
+    ASSERT_TRUE(mmu->translate(base, 1));
+    eq.run();
+    ASSERT_TRUE(mmu->translate(base + 4096, 2));
+    eq.run();
+    ASSERT_NE(mmu->sharedCacheStats(), nullptr);
+    EXPECT_EQ(mmu->counts().walkMemAccesses, 5u);
+}
+
+TEST_F(MmuCoreTest, SharedUptcModeSkipsAcrossWalkers)
+{
+    MmuConfig cfg = neuMmuConfig();
+    cfg.pathCache = MmuCacheKind::Uptc;
+    cfg.sharedCacheEntries = 64;
+    build(cfg);
+    ASSERT_TRUE(mmu->translate(base, 1));
+    eq.run();
+    ASSERT_TRUE(mmu->translate(base + 4096, 2));
+    eq.run();
+    EXPECT_EQ(mmu->counts().walkMemAccesses, 5u);
+    EXPECT_GT(mmu->uptcEntryHitRate(), 0.0);
+}
+
+TEST_F(MmuCoreTest, FaultHandlerMapsAndDelaysWalk)
+{
+    build(baselineIommuConfig(), 1);
+    const Addr unmapped = base + 16 * 4096;
+    unsigned faults = 0;
+    mmu->setFaultHandler([&](Addr va, Tick now) -> Tick {
+        faults++;
+        pt.map(pageBase(va, smallPageShift),
+               node.allocate(4096, 4096), smallPageShift);
+        return now + 1000; // page resident 1000 cycles later
+    });
+    ASSERT_TRUE(mmu->translate(unmapped + 4, 1));
+    eq.run();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(faults, 1u);
+    EXPECT_EQ(mmu->counts().faults, 1u);
+    // Walk starts only after the page is resident: 1000 + 400.
+    EXPECT_EQ(responses[0].first, 1400u);
+    EXPECT_TRUE(pt.isMapped(unmapped));
+}
+
+TEST_F(MmuCoreTest, OracleFaultStillPaysResidencyLatency)
+{
+    MmuConfig cfg = oracleMmuConfig();
+    build(cfg, 1);
+    const Addr unmapped = base + 32 * 4096;
+    mmu->setFaultHandler([&](Addr va, Tick now) -> Tick {
+        pt.map(pageBase(va, smallPageShift),
+               node.allocate(4096, 4096), smallPageShift);
+        return now + 777;
+    });
+    ASSERT_TRUE(mmu->translate(unmapped, 9));
+    eq.run();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].first, 777u);
+}
+
+TEST_F(MmuCoreTest, CountsAreConsistent)
+{
+    build(neuMmuConfig());
+    for (unsigned i = 0; i < 32; i++)
+        ASSERT_TRUE(mmu->translate(base + i * 256, i));
+    eq.run();
+    const MmuCounts &c = mmu->counts();
+    EXPECT_EQ(c.requests, 32u);
+    EXPECT_EQ(c.responses, 32u);
+    EXPECT_EQ(c.tlbHits + c.tlbMisses, c.requests);
+    EXPECT_EQ(c.walks + c.prmbMerges, c.tlbMisses);
+    EXPECT_EQ(responses.size(), 32u);
+}
+
+TEST_F(MmuCoreTest, LargePageMmuWalksThreeLevels)
+{
+    // Separate setup: 2 MB mappings.
+    base = Addr(0x90) << 30;
+    pt.map(base, node.allocate(2 * MiB, 2 * MiB), largePageShift);
+    MmuConfig cfg = baselineIommuConfig(largePageShift);
+    mmu = std::make_unique<MmuCore>("mmu", eq, pt, cfg);
+    mmu->setResponseCallback([this](const TranslationResponse &r) {
+        responses.push_back({eq.now(), r});
+    });
+    ASSERT_TRUE(mmu->translate(base + 0x12345, 1));
+    eq.run();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].first, 305u); // 5 + 3 x 100
+    EXPECT_EQ(mmu->counts().walkMemAccesses, 3u);
+    EXPECT_EQ(responses[0].second.pa & pageOffsetMask(largePageShift),
+              0x12345u);
+}

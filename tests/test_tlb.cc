@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the TLB, including parameterized geometry sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/tlb.hh"
+
+using namespace neummu;
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb("t", TlbConfig{16, 0, 5});
+    Addr pfn = 0;
+    EXPECT_FALSE(tlb.lookup(100, pfn));
+    tlb.insert(100, 7);
+    ASSERT_TRUE(tlb.lookup(100, pfn));
+    EXPECT_EQ(pfn, 7u);
+    EXPECT_DOUBLE_EQ(tlb.hitRate(), 0.5);
+}
+
+TEST(Tlb, LruEvictionInFullyAssociative)
+{
+    Tlb tlb("t", TlbConfig{4, 0, 1});
+    for (Addr v = 0; v < 4; v++)
+        tlb.insert(v, v + 100);
+    Addr pfn = 0;
+    // Touch 0 so 1 becomes LRU.
+    EXPECT_TRUE(tlb.lookup(0, pfn));
+    tlb.insert(99, 1);
+    EXPECT_TRUE(tlb.probe(0));
+    EXPECT_FALSE(tlb.probe(1)); // evicted
+    EXPECT_TRUE(tlb.probe(2));
+    EXPECT_TRUE(tlb.probe(3));
+    EXPECT_TRUE(tlb.probe(99));
+}
+
+TEST(Tlb, InsertRefreshesExistingEntry)
+{
+    Tlb tlb("t", TlbConfig{2, 0, 1});
+    tlb.insert(1, 10);
+    tlb.insert(2, 20);
+    tlb.insert(1, 11); // refresh, making 2 the LRU
+    tlb.insert(3, 30); // evicts 2
+    Addr pfn = 0;
+    ASSERT_TRUE(tlb.lookup(1, pfn));
+    EXPECT_EQ(pfn, 11u);
+    EXPECT_FALSE(tlb.probe(2));
+}
+
+TEST(Tlb, SetAssociativeMapsVpnsToSets)
+{
+    // 4 entries, 2 ways => 2 sets; even VPNs -> set 0, odd -> set 1.
+    Tlb tlb("t", TlbConfig{4, 2, 1});
+    tlb.insert(0, 1);
+    tlb.insert(2, 2);
+    tlb.insert(4, 3); // evicts VPN 0 from set 0
+    EXPECT_FALSE(tlb.probe(0));
+    EXPECT_TRUE(tlb.probe(2));
+    EXPECT_TRUE(tlb.probe(4));
+    tlb.insert(1, 4);
+    EXPECT_TRUE(tlb.probe(1)); // set 1 unaffected
+}
+
+TEST(Tlb, InvalidateAndFlush)
+{
+    Tlb tlb("t", TlbConfig{8, 0, 1});
+    tlb.insert(5, 50);
+    tlb.insert(6, 60);
+    tlb.invalidate(5);
+    EXPECT_FALSE(tlb.probe(5));
+    EXPECT_TRUE(tlb.probe(6));
+    tlb.flush();
+    EXPECT_FALSE(tlb.probe(6));
+    EXPECT_EQ(tlb.size(), 0u);
+}
+
+TEST(Tlb, ProbeDoesNotPerturbLruOrStats)
+{
+    Tlb tlb("t", TlbConfig{2, 0, 1});
+    tlb.insert(1, 10);
+    tlb.insert(2, 20);
+    // Probing 1 must NOT make it MRU.
+    EXPECT_TRUE(tlb.probe(1));
+    tlb.insert(3, 30); // evicts true-LRU = 1
+    EXPECT_FALSE(tlb.probe(1));
+    EXPECT_DOUBLE_EQ(tlb.hitRate(), 0.0); // probes don't count
+}
+
+TEST(Tlb, StatsCountEvictions)
+{
+    Tlb tlb("t", TlbConfig{2, 0, 1});
+    tlb.insert(1, 1);
+    tlb.insert(2, 2);
+    tlb.insert(3, 3);
+    EXPECT_DOUBLE_EQ(tlb.stats().scalar("evictions").value(), 1.0);
+}
+
+/** Property sweep: capacity is respected for many geometries. */
+class TlbGeometry
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(TlbGeometry, NeverExceedsCapacityAndKeepsRecentEntries)
+{
+    const auto [entries, ways] = GetParam();
+    Tlb tlb("t", TlbConfig{entries, ways, 1});
+    const std::size_t inserts = entries * 4;
+    for (Addr v = 0; v < inserts; v++)
+        tlb.insert(v, v);
+    EXPECT_LE(tlb.size(), entries);
+    // The most recent VPN of every set must still be resident.
+    const std::size_t sets = (ways == 0) ? 1 : entries / ways;
+    for (Addr v = inserts - sets; v < inserts; v++)
+        EXPECT_TRUE(tlb.probe(v)) << "vpn " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TlbGeometry,
+    ::testing::Values(std::make_tuple(1, 0), std::make_tuple(8, 0),
+                      std::make_tuple(16, 4), std::make_tuple(64, 8),
+                      std::make_tuple(128, 0), std::make_tuple(2048, 0),
+                      std::make_tuple(2048, 16)));
+
+/** Streaming sweep: a working set larger than the TLB thrashes it. */
+TEST(Tlb, StreamingDefeatsAnyCapacity)
+{
+    for (const std::size_t entries : {64ul, 256ul, 2048ul}) {
+        Tlb tlb("t", TlbConfig{entries, 0, 1});
+        Addr pfn;
+        const Addr stream = Addr(entries) * 4;
+        for (int pass = 0; pass < 2; pass++) {
+            for (Addr v = 0; v < stream; v++) {
+                if (!tlb.lookup(v, pfn))
+                    tlb.insert(v, v);
+            }
+        }
+        // A cyclic stream 4x the capacity under LRU never hits.
+        EXPECT_DOUBLE_EQ(tlb.hitRate(), 0.0) << entries;
+    }
+}

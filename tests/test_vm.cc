@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the virtual-memory substrate: frame allocator,
+ * x86-64 radix page table, and the segment-based address space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "vm/address_space.hh"
+#include "vm/frame_allocator.hh"
+#include "vm/page_table.hh"
+
+using namespace neummu;
+
+namespace {
+
+constexpr Addr nodeBase = Addr(1) << 40;
+
+} // namespace
+
+TEST(FrameAllocator, AllocatesAlignedFrames)
+{
+    FrameAllocator alloc("node", nodeBase, 1 * GiB);
+    const Addr a = alloc.allocate(4096, 4096);
+    const Addr b = alloc.allocate(4096, 4096);
+    EXPECT_EQ(a % 4096, 0u);
+    EXPECT_EQ(b, a + 4096);
+    EXPECT_EQ(alloc.used(), 8192u);
+}
+
+TEST(FrameAllocator, RespectsLargeAlignment)
+{
+    FrameAllocator alloc("node", nodeBase, 1 * GiB);
+    alloc.allocate(4096, 4096);
+    const Addr big = alloc.allocate(2 * MiB, 2 * MiB);
+    EXPECT_EQ(big % (2 * MiB), 0u);
+}
+
+TEST(FrameAllocator, OwnershipAndCapacity)
+{
+    FrameAllocator alloc("node", nodeBase, 1 * MiB);
+    EXPECT_TRUE(alloc.owns(nodeBase));
+    EXPECT_TRUE(alloc.owns(nodeBase + 1 * MiB - 1));
+    EXPECT_FALSE(alloc.owns(nodeBase + 1 * MiB));
+    EXPECT_FALSE(alloc.owns(0));
+    EXPECT_TRUE(alloc.wouldFit(1 * MiB, 4096));
+    alloc.allocate(512 * KiB, 4096);
+    EXPECT_FALSE(alloc.wouldFit(1 * MiB, 4096));
+    EXPECT_EQ(alloc.remaining(), 512 * KiB);
+}
+
+TEST(FrameAllocatorDeath, OversubscriptionIsFatal)
+{
+    FrameAllocator alloc("node", nodeBase, 64 * KiB);
+    // An MMU-less NPU whose working set exceeds physical memory
+    // crashes (Section I); the allocator models that with fatal().
+    EXPECT_DEATH(
+        {
+            FrameAllocator inner("node", nodeBase, 64 * KiB);
+            inner.allocate(128 * KiB, 4096);
+        },
+        "out of physical memory");
+}
+
+class PageTableTest : public ::testing::Test
+{
+  protected:
+    PageTableTest() : node("host", nodeBase, 4 * GiB), pt(node) {}
+
+    FrameAllocator node;
+    PageTable pt;
+};
+
+TEST_F(PageTableTest, UnmappedWalkIsInvalid)
+{
+    const WalkResult wr = pt.walk(0x1234567000);
+    EXPECT_FALSE(wr.valid);
+    EXPECT_FALSE(pt.isMapped(0x1234567000));
+}
+
+TEST_F(PageTableTest, MapsAndWalksSmallPage)
+{
+    const Addr va = Addr(0x42) << 30 | 0x5000;
+    const Addr pa = node.allocate(4096, 4096);
+    pt.map(va, pa, smallPageShift);
+    const WalkResult wr = pt.walk(va | 0x123);
+    ASSERT_TRUE(wr.valid);
+    EXPECT_EQ(wr.pa, pa | 0x123);
+    EXPECT_EQ(wr.pageShift, smallPageShift);
+    EXPECT_EQ(wr.levels, 4u);
+}
+
+TEST_F(PageTableTest, MapsAndWalksLargePage)
+{
+    const Addr va = Addr(0x55) << 30;
+    const Addr pa = node.allocate(2 * MiB, 2 * MiB);
+    pt.map(va, pa, largePageShift);
+    const WalkResult wr = pt.walk(va + 0x123456);
+    ASSERT_TRUE(wr.valid);
+    EXPECT_EQ(wr.pa, pa + 0x123456);
+    EXPECT_EQ(wr.pageShift, largePageShift);
+    EXPECT_EQ(wr.levels, 3u); // 2 MB pages stop at L2
+}
+
+TEST_F(PageTableTest, WalkReportsEntryPathAddresses)
+{
+    const Addr va = Addr(0x7) << 39 | Addr(0x8) << 30 | Addr(0x9) << 21 |
+                    Addr(0xa) << 12;
+    pt.map(va, node.allocate(4096, 4096), smallPageShift);
+    const WalkResult wr = pt.walk(va);
+    ASSERT_TRUE(wr.valid);
+    // Root entry lives at rootPa + L4 index * 8.
+    EXPECT_EQ(wr.entryPa[0], pt.rootPa() + 0x7 * 8);
+    EXPECT_EQ(wr.nodePa[0], pt.rootPa());
+    // Each step's entry sits inside its node's frame.
+    for (unsigned i = 0; i < wr.levels; i++) {
+        EXPECT_EQ(pageBase(wr.entryPa[i], smallPageShift), wr.nodePa[i]);
+    }
+    // Distinct levels live in distinct nodes.
+    EXPECT_NE(wr.nodePa[0], wr.nodePa[1]);
+    EXPECT_NE(wr.nodePa[1], wr.nodePa[2]);
+    EXPECT_NE(wr.nodePa[2], wr.nodePa[3]);
+}
+
+TEST_F(PageTableTest, NeighboringPagesShareUpperPath)
+{
+    const Addr va = Addr(0x11) << 30;
+    pt.map(va, node.allocate(4096, 4096), smallPageShift);
+    pt.map(va + 4096, node.allocate(4096, 4096), smallPageShift);
+    const WalkResult a = pt.walk(va);
+    const WalkResult b = pt.walk(va + 4096);
+    // Same L4/L3/L2 entries; only the L1 entry differs.
+    EXPECT_EQ(a.entryPa[0], b.entryPa[0]);
+    EXPECT_EQ(a.entryPa[1], b.entryPa[1]);
+    EXPECT_EQ(a.entryPa[2], b.entryPa[2]);
+    EXPECT_NE(a.entryPa[3], b.entryPa[3]);
+}
+
+TEST_F(PageTableTest, UnmapRemovesLeaf)
+{
+    const Addr va = Addr(0x21) << 30;
+    pt.map(va, node.allocate(4096, 4096), smallPageShift);
+    EXPECT_TRUE(pt.isMapped(va));
+    EXPECT_EQ(pt.mappedPages(), 1u);
+    pt.unmap(va);
+    EXPECT_FALSE(pt.isMapped(va));
+    EXPECT_EQ(pt.mappedPages(), 0u);
+    pt.unmap(va); // idempotent
+}
+
+TEST_F(PageTableTest, ManyMappingsAllResolve)
+{
+    const Addr base = Addr(0x33) << 30;
+    for (unsigned i = 0; i < 1024; i++) {
+        pt.map(base + Addr(i) * 4096, node.allocate(4096, 4096),
+               smallPageShift);
+    }
+    EXPECT_EQ(pt.mappedPages(), 1024u);
+    for (unsigned i = 0; i < 1024; i++)
+        EXPECT_TRUE(pt.walk(base + Addr(i) * 4096 + 42).valid);
+}
+
+TEST_F(PageTableTest, DeathOnDoubleMap)
+{
+    const Addr va = Addr(0x44) << 30;
+    pt.map(va, node.allocate(4096, 4096), smallPageShift);
+    EXPECT_DEATH(pt.map(va, node.allocate(4096, 4096), smallPageShift),
+                 "double map");
+}
+
+TEST_F(PageTableTest, DeathOnUnalignedMap)
+{
+    EXPECT_DEATH(pt.map(0x123, 0x456000, smallPageShift), "unaligned");
+}
+
+TEST(AddressSpace, SegmentsAreDisjointAndAligned)
+{
+    FrameAllocator node("host", nodeBase, 4 * GiB);
+    PageTable pt(node);
+    AddressSpace vas(pt);
+    const Segment a = vas.allocateUnbacked("a", 5000, smallPageShift);
+    const Segment b = vas.allocateUnbacked("b", 3 * MiB, smallPageShift);
+    EXPECT_EQ(a.base % (2 * MiB), 0u);
+    EXPECT_EQ(b.base % (2 * MiB), 0u);
+    EXPECT_GE(b.base, a.base + a.bytes);
+    EXPECT_EQ(a.bytes % 4096, 0u);
+    EXPECT_TRUE(a.contains(a.base));
+    EXPECT_FALSE(a.contains(b.base));
+}
+
+TEST(AddressSpace, BackedSegmentIsFullyMapped)
+{
+    FrameAllocator host("host", nodeBase, 4 * GiB);
+    FrameAllocator npu("npu", Addr(2) << 40, 4 * GiB);
+    PageTable pt(host);
+    AddressSpace vas(pt);
+    const Segment seg =
+        vas.allocateBacked("w", 64 * KiB, npu, smallPageShift);
+    for (Addr va = seg.base; va < seg.end(); va += 4096) {
+        const WalkResult wr = pt.walk(va);
+        ASSERT_TRUE(wr.valid);
+        EXPECT_TRUE(npu.owns(wr.pa));
+    }
+}
+
+TEST(AddressSpace, BackPageMapsExactlyOnePage)
+{
+    FrameAllocator host("host", nodeBase, 4 * GiB);
+    FrameAllocator npu("npu", Addr(2) << 40, 4 * GiB);
+    PageTable pt(host);
+    AddressSpace vas(pt);
+    const Segment seg =
+        vas.allocateUnbacked("t", 1 * MiB, smallPageShift);
+    EXPECT_FALSE(pt.isMapped(seg.base + 8192));
+    vas.backPage(seg, seg.base + 8192 + 17, npu);
+    EXPECT_TRUE(pt.isMapped(seg.base + 8192));
+    EXPECT_FALSE(pt.isMapped(seg.base));
+    EXPECT_FALSE(pt.isMapped(seg.base + 4096));
+}
+
+TEST(AddressSpace, LargePageSegment)
+{
+    FrameAllocator host("host", nodeBase, 4 * GiB);
+    FrameAllocator npu("npu", Addr(2) << 40, 4 * GiB);
+    PageTable pt(host);
+    AddressSpace vas(pt);
+    const Segment seg =
+        vas.allocateBacked("w", 3 * MiB, npu, largePageShift);
+    EXPECT_EQ(seg.bytes, 4 * MiB); // rounded to whole 2 MB pages
+    EXPECT_TRUE(pt.walk(seg.base + 2 * MiB + 5).valid);
+    EXPECT_EQ(pt.walk(seg.base).pageShift, largePageShift);
+}
+
+TEST(AddressSpace, ScatteredSegmentsLandInDistinctL4Subtrees)
+{
+    FrameAllocator host("host", nodeBase, 4 * GiB);
+    PageTable pt(host);
+    AddressSpace vas(pt, Addr(0x100) << 30, 39);
+    const Segment a = vas.allocateUnbacked("a", 1 * MiB, smallPageShift);
+    const Segment b = vas.allocateUnbacked("b", 1 * MiB, smallPageShift);
+    const Segment c = vas.allocateUnbacked("c", 1 * MiB, smallPageShift);
+    EXPECT_NE(radixIndex(a.base, 4), radixIndex(b.base, 4));
+    EXPECT_NE(radixIndex(b.base, 4), radixIndex(c.base, 4));
+    // Packed layout keeps everything under one L4 entry by contrast.
+    AddressSpace packed(pt, Addr(0x200) << 30);
+    const Segment p1 = packed.allocateUnbacked("p1", 1 * MiB,
+                                               smallPageShift);
+    const Segment p2 = packed.allocateUnbacked("p2", 1 * MiB,
+                                               smallPageShift);
+    EXPECT_EQ(radixIndex(p1.base, 4), radixIndex(p2.base, 4));
+}

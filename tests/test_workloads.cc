@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit and property tests for the workload models and the SPM tiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/units.hh"
+#include "workloads/embedding.hh"
+#include "workloads/models.hh"
+#include "workloads/tiler.hh"
+
+using namespace neummu;
+
+TEST(Layers, ConvOutputGeometry)
+{
+    ConvParams conv{3, 227, 227, 96, 11, 11, 4, 0};
+    EXPECT_EQ(conv.outH(), 55u);
+    EXPECT_EQ(conv.outW(), 55u);
+    ConvParams padded{96, 27, 27, 256, 5, 5, 1, 2};
+    EXPECT_EQ(padded.outH(), 27u);
+}
+
+TEST(Layers, ConvEffectiveGemmUsesIm2col)
+{
+    LayerSpec layer;
+    layer.kind = LayerKind::Conv;
+    layer.conv = ConvParams{96, 27, 27, 256, 5, 5, 1, 2};
+    layer.batch = 4;
+    const GemmDims dims = layer.effectiveGemm();
+    EXPECT_EQ(dims.m, 4u * 27 * 27);
+    EXPECT_EQ(dims.k, 96u * 25);
+    EXPECT_EQ(dims.n, 256u);
+}
+
+TEST(Layers, FootprintsArePositiveAndScaleWithBatch)
+{
+    for (const WorkloadId id : allWorkloads()) {
+        const Workload b1 = makeWorkload(id, 1);
+        const Workload b8 = makeWorkload(id, 8);
+        EXPECT_FALSE(b1.layers.empty()) << workloadName(id);
+        EXPECT_GT(b1.maxIaBytes(2), 0u);
+        EXPECT_GT(b1.maxWBytes(2), 0u);
+        EXPECT_GE(b8.maxIaBytes(2), b1.maxIaBytes(2));
+        // Weights are batch-independent.
+        EXPECT_EQ(b8.maxWBytes(2), b1.maxWBytes(2));
+    }
+}
+
+TEST(Models, AlexNetShape)
+{
+    const Workload wl = makeWorkload(WorkloadId::CNN1, 1);
+    EXPECT_EQ(wl.layers.size(), 8u); // 5 conv + 3 fc
+    EXPECT_EQ(wl.layers[0].conv.cout, 96u);
+    EXPECT_EQ(wl.layers[5].gemm.k, 9216u);
+    EXPECT_EQ(wl.layers[7].gemm.n, 1000u);
+}
+
+TEST(Models, GoogLeNetHasNineInceptionModules)
+{
+    const Workload wl = makeWorkload(WorkloadId::CNN2, 1);
+    // 3 stem convs + 9 modules x 6 convs + 1 fc.
+    EXPECT_EQ(wl.layers.size(), 3u + 9 * 6 + 1);
+}
+
+TEST(Models, ResNet50LayerCount)
+{
+    const Workload wl = makeWorkload(WorkloadId::CNN3, 1);
+    // conv1 + 16 bottlenecks x 3 + 4 projections + fc = 54.
+    EXPECT_EQ(wl.layers.size(), 1u + 16 * 3 + 4 + 1);
+}
+
+TEST(Models, RnnsAreRepeatedGemms)
+{
+    const Workload rnn1 = makeWorkload(WorkloadId::RNN1, 4);
+    ASSERT_EQ(rnn1.layers.size(), 1u);
+    EXPECT_EQ(rnn1.layers[0].gemm.m, 4u);
+    EXPECT_EQ(rnn1.layers[0].gemm.k, 5120u);
+    EXPECT_EQ(rnn1.layers[0].gemm.n, 2560u);
+    EXPECT_EQ(rnn1.layers[0].repeat, rnnSimulatedTimesteps);
+
+    const Workload rnn3 = makeWorkload(WorkloadId::RNN3, 1);
+    EXPECT_EQ(rnn3.layers[0].gemm.n, 4u * 2048); // LSTM gates
+}
+
+TEST(Models, CommonLayerExistsForEveryWorkload)
+{
+    for (const WorkloadId id : allWorkloads()) {
+        const Workload wl = makeCommonLayer(id, 64);
+        ASSERT_EQ(wl.layers.size(), 1u) << workloadName(id);
+        EXPECT_GT(wl.layers[0].effectiveGemm().macs(), 0u);
+    }
+}
+
+namespace {
+
+constexpr Addr iaBase = Addr(0x100) << 30;
+constexpr Addr wBase = Addr(0x200) << 30;
+
+} // namespace
+
+/** Property suite over every (workload, batch) pair. */
+class TilerProperties
+    : public ::testing::TestWithParam<std::tuple<WorkloadId, unsigned>>
+{
+};
+
+TEST_P(TilerProperties, TilesRespectSpmBudgetsAndCoverTensors)
+{
+    const auto [id, batch] = GetParam();
+    const Workload wl = makeWorkload(id, batch);
+    NpuConfig npu;
+    Tiler tiler(npu);
+
+    for (const LayerSpec &layer : wl.layers) {
+        const LayerTiling tiling = tiler.tileLayer(layer, iaBase, wBase);
+        ASSERT_FALSE(tiling.tiles.empty()) << layer.name;
+
+        std::uint64_t w_covered = 0;
+        for (const TileWork &tile : tiling.tiles) {
+            std::uint64_t ia_bytes = 0, w_bytes = 0;
+            for (const VaRun &run : tile.iaRuns) {
+                ASSERT_GT(run.bytes, 0u);
+                ASSERT_GE(run.va, iaBase);
+                ASSERT_LT(run.va + run.bytes,
+                          iaBase + (Addr(64) << 30));
+                ia_bytes += run.bytes;
+            }
+            for (const VaRun &run : tile.wRuns) {
+                ASSERT_GT(run.bytes, 0u);
+                ASSERT_GE(run.va, wBase);
+                w_bytes += run.bytes;
+            }
+            // Tiles fit the double-buffered SPM budgets (a single
+            // oversized filter may exceed it by design; none of the
+            // studied layers do).
+            EXPECT_LE(ia_bytes, npu.iaTileBudget()) << layer.name;
+            EXPECT_LE(w_bytes, npu.wTileBudget()) << layer.name;
+            EXPECT_GT(tile.computeCycles, 0u);
+            w_covered += w_bytes;
+        }
+        // Every weight byte is fetched at least once per repeat.
+        EXPECT_GE(w_covered, layer.wBytes(npu.elemBytes) * layer.repeat)
+            << layer.name;
+    }
+}
+
+TEST_P(TilerProperties, ComputeCyclesCoverTheWholeGemm)
+{
+    const auto [id, batch] = GetParam();
+    const Workload wl = makeWorkload(id, batch);
+    NpuConfig npu;
+    Tiler tiler(npu);
+    for (const LayerSpec &layer : wl.layers) {
+        const LayerTiling tiling = tiler.tileLayer(layer, iaBase, wBase);
+        const GemmDims dims = layer.effectiveGemm();
+        // Lower bound: the systolic array peaks at rows*cols MACs per
+        // cycle, so total compute cycles must exceed MACs/peak.
+        std::uint64_t total = 0;
+        for (const TileWork &tile : tiling.tiles)
+            total += tile.computeCycles;
+        const std::uint64_t peak =
+            std::uint64_t(npu.systolicRows) * npu.systolicCols;
+        EXPECT_GE(total, dims.macs() * layer.repeat / peak) << layer.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, TilerProperties,
+    ::testing::Combine(::testing::ValuesIn(allWorkloads()),
+                       ::testing::Values(1u, 4u, 8u)),
+    [](const auto &info) {
+        return workloadName(std::get<0>(info.param)).substr(0, 3) +
+               std::to_string(
+                   static_cast<int>(std::get<0>(info.param))) +
+               "_b" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Tiler, GemmTilesAreStridedWhenKIsSplit)
+{
+    NpuConfig npu;
+    Tiler tiler(npu);
+    LayerSpec layer;
+    layer.kind = LayerKind::Gemm;
+    layer.gemm = GemmDims{1, 4096, 8192}; // K > kCap forces splitting
+    const LayerTiling tiling = tiler.tileLayer(layer, iaBase, wBase);
+    ASSERT_GT(tiling.tiles.size(), 1u);
+    // W runs are strided rows: many short runs per tile.
+    EXPECT_GT(tiling.tiles[0].wRuns.size(), 100u);
+    EXPECT_EQ(tiling.tiles[0].wRuns[0].bytes,
+              tiling.tiles[0].wRuns[1].bytes);
+    // Row stride equals N * elem.
+    EXPECT_EQ(tiling.tiles[0].wRuns[1].va - tiling.tiles[0].wRuns[0].va,
+              8192u * npu.elemBytes);
+}
+
+TEST(Tiler, ConvWholeImageTileIsContiguous)
+{
+    NpuConfig npu;
+    Tiler tiler(npu);
+    LayerSpec layer;
+    layer.kind = LayerKind::Conv;
+    layer.conv = ConvParams{96, 27, 27, 256, 5, 5, 1, 2};
+    layer.batch = 2;
+    const LayerTiling tiling = tiler.tileLayer(layer, iaBase, wBase);
+    // The whole 96x27x27 image fits the IA budget: one run per image.
+    for (const TileWork &tile : tiling.tiles)
+        EXPECT_EQ(tile.iaRuns.size(), 1u);
+    // Batch 2 gives (at least) two tiles at different image bases.
+    ASSERT_GE(tiling.tiles.size(), 2u);
+    EXPECT_NE(tiling.tiles[0].iaRuns[0].va, tiling.tiles[1].iaRuns[0].va);
+}
+
+TEST(Tiler, ConvPartialWindowEmitsPerChannelRuns)
+{
+    NpuConfig npu;
+    npu.iaSpmBytes = 256 * KiB; // force row tiling
+    Tiler tiler(npu);
+    LayerSpec layer;
+    layer.kind = LayerKind::Conv;
+    layer.conv = ConvParams{64, 112, 112, 128, 3, 3, 1, 1};
+    layer.batch = 1;
+    const LayerTiling tiling = tiler.tileLayer(layer, iaBase, wBase);
+    ASSERT_GT(tiling.tiles.size(), 1u);
+    // Later tiles read a row window from each of the 64 channels.
+    EXPECT_EQ(tiling.tiles.back().iaRuns.size(), 64u);
+}
+
+TEST(Tiler, RepeatDuplicatesTiles)
+{
+    NpuConfig npu;
+    Tiler tiler(npu);
+    LayerSpec layer;
+    layer.kind = LayerKind::Gemm;
+    layer.gemm = GemmDims{1, 512, 512};
+    layer.repeat = 3;
+    const LayerTiling tiling = tiler.tileLayer(layer, iaBase, wBase);
+    LayerSpec once = layer;
+    once.repeat = 1;
+    const LayerTiling single = tiler.tileLayer(once, iaBase, wBase);
+    EXPECT_EQ(tiling.tiles.size(), single.tiles.size() * 3);
+}
+
+TEST(Tiler, PageDivergenceCountsDistinctPages)
+{
+    TileWork tile;
+    tile.iaRuns.push_back(VaRun{0x1000, 4096});     // page 1
+    tile.iaRuns.push_back(VaRun{0x1800, 16});       // still page 1
+    tile.wRuns.push_back(VaRun{0x8000, 8192});      // pages 8, 9
+    EXPECT_EQ(pageDivergence(tile, smallPageShift), 3u);
+    EXPECT_EQ(pageDivergence(tile, largePageShift), 1u);
+}
+
+TEST(Tiler, PageDivergenceMatchesPaperScale)
+{
+    // A 5 MB contiguous tile touches ~1280 4 KB pages (Section III-C).
+    TileWork tile;
+    tile.wRuns.push_back(VaRun{0, 5 * MiB});
+    const std::uint64_t pages = pageDivergence(tile, smallPageShift);
+    EXPECT_EQ(pages, 5 * MiB / 4096);
+}
+
+TEST(Embedding, SpecsMatchPaperScale)
+{
+    const EmbeddingModelSpec ncf = makeNcf();
+    const EmbeddingModelSpec dlrm = makeDlrm();
+    // Tables far exceed the tens-of-GB NPU memory (Section III-A).
+    EXPECT_GT(ncf.totalTableBytes(), 40 * GiB);
+    EXPECT_GT(dlrm.totalTableBytes(), 40 * GiB);
+    EXPECT_EQ(dlrm.tables.size(), 26u);
+    EXPECT_GT(ncf.lookupsPerSample(), 100u); // candidate scoring
+    EXPECT_EQ(dlrm.lookupsPerSample(), 260u);
+}
+
+TEST(Embedding, LookupGenerationIsDeterministicPerSeed)
+{
+    const EmbeddingModelSpec spec = makeDlrm();
+    Rng a(5), b(5), c(6);
+    const auto la = generateLookups(spec, 4, a);
+    const auto lb = generateLookups(spec, 4, b);
+    const auto lc = generateLookups(spec, 4, c);
+    ASSERT_EQ(la.size(), lb.size());
+    bool all_equal = true, any_diff = false;
+    for (std::size_t i = 0; i < la.size(); i++) {
+        all_equal &= la[i].row == lb[i].row;
+        any_diff |= la[i].row != lc[i].row;
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Embedding, LookupsStayInTableBounds)
+{
+    const EmbeddingModelSpec spec = makeNcf();
+    Rng rng(17);
+    for (const auto &lu : generateLookups(spec, 16, rng)) {
+        ASSERT_LT(lu.table, spec.tables.size());
+        ASSERT_LT(lu.row, spec.tables[lu.table].rows);
+    }
+}
+
+TEST(Embedding, RandomLookupsHaveLowPageLocality)
+{
+    // The premise of Section V: gathers are sparse; nearly every
+    // lookup lands on its own 4 KB page.
+    const EmbeddingModelSpec spec = makeDlrm();
+    Rng rng(23);
+    const auto lookups = generateLookups(spec, 8, rng);
+    std::unordered_set<Addr> pages;
+    for (const auto &lu : lookups) {
+        const Addr va = (Addr(lu.table) << 40) +
+                        lu.row * spec.tables[lu.table].rowBytes();
+        pages.insert(pageNumber(va, smallPageShift));
+    }
+    EXPECT_GT(pages.size(), lookups.size() * 9 / 10);
+}
