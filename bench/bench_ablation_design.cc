@@ -34,10 +34,10 @@ main()
         DenseExperimentConfig cfg;
         cfg.workload = gp.workload;
         cfg.batch = gp.batch;
-        cfg.mmu = oracleMmuConfig();
-        cfg.bufferDepth = 1;
+        cfg.system.mmu = oracleMmuConfig();
+        cfg.system.bufferDepth = 1;
         const Tick single = runDenseExperiment(cfg).totalCycles;
-        cfg.bufferDepth = 2;
+        cfg.system.bufferDepth = 2;
         const Tick dbl = runDenseExperiment(cfg).totalCycles;
         std::printf("%-12s %14llu %14llu %9.2fx\n", gp.label().c_str(),
                     (unsigned long long)single, (unsigned long long)dbl,
@@ -53,10 +53,10 @@ main()
             DenseExperimentConfig cfg;
             cfg.workload = gp.workload;
             cfg.batch = gp.batch;
-            cfg.npu.dmaBurstBytes = burst;
-            cfg.mmu = oracleMmuConfig();
+            cfg.system.npu.dmaBurstBytes = burst;
+            cfg.system.mmu = oracleMmuConfig();
             const Tick oracle = runDenseExperiment(cfg).totalCycles;
-            cfg.mmu = baselineIommuConfig();
+            cfg.system.mmu = baselineIommuConfig();
             const DenseExperimentResult r = runDenseExperiment(cfg);
             std::printf("%-12s %8llu %14llu %14llu %12.4f\n",
                         gp.label().c_str(), (unsigned long long)burst,
@@ -75,12 +75,12 @@ main()
         DenseExperimentConfig cfg;
         cfg.workload = gp.workload;
         cfg.batch = gp.batch;
-        cfg.mmu = oracleMmuConfig();
+        cfg.system.mmu = oracleMmuConfig();
         const Tick oracle = runDenseExperiment(cfg).totalCycles;
-        cfg.mmu = neuMmuConfig();
-        cfg.mmu.pathCache = MmuCacheKind::None;
+        cfg.system.mmu = neuMmuConfig();
+        cfg.system.mmu.pathCache = MmuCacheKind::None;
         const DenseExperimentResult no_tpreg = runDenseExperiment(cfg);
-        cfg.mmu.pathCache = MmuCacheKind::TpReg;
+        cfg.system.mmu.pathCache = MmuCacheKind::TpReg;
         const DenseExperimentResult with_tpreg =
             runDenseExperiment(cfg);
         std::printf("%-12s %10.4f %10.4f %14llu %14llu\n",

@@ -7,7 +7,7 @@
  */
 
 #include <cstdio>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hh"
@@ -15,51 +15,60 @@
 using namespace neummu;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("Extension: translation prefetching",
                        "Sequential prefetch depth sweep (normalized "
                        "to oracle)");
+    bench::Reporter reporter("ext_prefetch", argc, argv);
 
     const std::vector<bench::GridPoint> points = {
         {WorkloadId::CNN1, 1}, {WorkloadId::RNN2, 4},
         {WorkloadId::RNN3, 8}};
-    bench::DenseSweep sweep(points);
-
     const std::vector<unsigned> depths = {0, 1, 2, 4, 8};
 
-    for (const auto &[name, base_cfg] :
-         {std::pair<const char *, MmuConfig>{"IOMMU(8 PTW)",
-                                             baselineIommuConfig()},
-          std::pair<const char *, MmuConfig>{"NeuMMU(128 PTW)",
-                                             neuMmuConfig()}}) {
+    struct Engine
+    {
+        const char *name;
+        const char *key;
+        MmuConfig cfg;
+    };
+    const Engine engines[] = {
+        {"IOMMU(8 PTW)", "IOMMU_pf", baselineIommuConfig()},
+        {"NeuMMU(128 PTW)", "NeuMMU_pf", neuMmuConfig()},
+    };
+    for (const auto &[name, key, base_cfg] : engines) {
+        const std::string prefix = key;
+        std::vector<bench::DesignPoint> designs;
+        for (const unsigned d : depths) {
+            designs.push_back({prefix + std::to_string(d),
+                               [&base_cfg,
+                                d](DenseExperimentConfig &cfg) {
+                                   cfg.system.mmu = base_cfg;
+                                   cfg.system.mmu.prefetchDepth = d;
+                               }});
+        }
+
         std::printf("%s\n%-12s", name, "workload");
         for (const unsigned d : depths)
             std::printf(" depth(%u)", d);
         std::printf(" %12s\n", "pf_walks@8");
 
-        std::map<unsigned, std::vector<double>> norms;
-        for (const bench::GridPoint &gp : points) {
-            std::printf("%-12s", gp.label().c_str());
-            std::uint64_t pf_walks = 0;
-            for (const unsigned d : depths) {
-                const DenseExperimentResult r =
-                    sweep.run(gp, [&](auto &cfg) {
-                        cfg.mmu = base_cfg;
-                        cfg.mmu.prefetchDepth = d;
-                    });
-                const double norm = double(sweep.oracleCycles(gp)) /
-                                    double(r.totalCycles);
-                norms[d].push_back(norm);
-                pf_walks = r.mmu.prefetchWalks;
-                std::printf(" %8.4f", norm);
-            }
-            std::printf(" %12llu\n", (unsigned long long)pf_walks);
-            std::fflush(stdout);
-        }
+        const bench::GridResults results = bench::runGrid(
+            SystemConfig{}, designs, points, &reporter,
+            [](const bench::GridPoint &gp,
+               const std::vector<bench::GridCell> &row) {
+                std::printf("%-12s", gp.label().c_str());
+                for (const bench::GridCell &c : row)
+                    std::printf(" %8.4f", c.normalized);
+                std::printf(" %12llu\n",
+                            (unsigned long long)
+                                row.back().result.mmu.prefetchWalks);
+                std::fflush(stdout);
+            });
         std::printf("%-12s", "average");
-        for (const unsigned d : depths)
-            std::printf(" %8.4f", bench::mean(norms[d]));
+        for (const bench::DesignPoint &d : designs)
+            std::printf(" %8.4f", results.meanNormalized(d.name));
         std::printf("\n\n");
     }
 
@@ -71,5 +80,6 @@ main()
                 "prediction, is what the burst regime rewards -- "
                 "consistent\nwith the paper's throughput-first "
                 "thesis.\n");
+    reporter.finish();
     return 0;
 }

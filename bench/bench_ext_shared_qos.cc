@@ -5,31 +5,21 @@
  * fetches through a single walker pool; a bursty neighbor starves a
  * well-behaved client unless the walker pool is partitioned.
  *
- * Setup: client 0 fetches a fixed 2 MB tile; client 1 streams a
- * 16 MB burst alongside it. We report client 0's fetch latency solo,
- * shared (free-for-all), and shared with a partitioned walker pool.
+ * Setup: client 0 fetches a fixed 256 KB tile that arrives in the
+ * middle of client 1's 16 MB streaming burst. We report client 0's
+ * fetch latency solo, shared (free-for-all), and shared with a
+ * partitioned walker pool. The machine is a two-NPU System whose
+ * router fans the one MmuCore out to both DMA engines.
  */
 
 #include <cstdio>
+#include <utility>
 
 #include "bench_util.hh"
-#include "mmu/translation_router.hh"
-#include "npu/dma_engine.hh"
-#include "vm/address_space.hh"
 
 using namespace neummu;
 
 namespace {
-
-struct Harness
-{
-    FrameAllocator host{"host", Addr(1) << 40, 16 * GiB};
-    FrameAllocator npu{"npu", Addr(2) << 40, 16 * GiB};
-    PageTable pt{host};
-    AddressSpace vas{pt};
-    EventQueue eq;
-    MemoryModel mem{"mem", MemoryConfig{}};
-};
 
 /**
  * Client 0 fetches a small 256 KB tile that arrives at t=20000, in
@@ -40,26 +30,31 @@ Tick
 runShared(const MmuConfig &mmu_cfg, RouterPolicy policy,
           bool neighbor_active)
 {
-    Harness h;
-    const Segment seg0 =
-        h.vas.allocateBacked("c0", 256 * KiB, h.npu, smallPageShift);
-    const Segment seg1 =
-        h.vas.allocateBacked("c1", 16 * MiB, h.npu, smallPageShift);
+    // SoC topology: both NPUs share one IOMMU *and* one system
+    // memory, as in the heterogeneous systems the paper describes.
+    SystemConfig sys_cfg;
+    sys_cfg.name = "qos";
+    sys_cfg.numNpus = 2;
+    sys_cfg.mmu = mmu_cfg;
+    sys_cfg.routerPolicy = policy;
+    sys_cfg.sharedMemory = true;
+    sys_cfg.dmaBurstBytes = 1024;
+    System sys(sys_cfg);
 
-    MmuCore mmu("iommu", h.eq, h.pt, mmu_cfg);
-    TranslationRouter router(mmu, 2, policy, mmu_cfg.numPtws);
-    DmaEngine dma0("dma0", h.eq, router.port(0), h.mem, DmaConfig{});
-    DmaEngine dma1("dma1", h.eq, router.port(1), h.mem, DmaConfig{});
+    const Segment seg0 = sys.addressSpace().allocateBacked(
+        "c0", 256 * KiB, sys.hbmNode(0), smallPageShift);
+    const Segment seg1 = sys.addressSpace().allocateBacked(
+        "c1", 16 * MiB, sys.hbmNode(1), smallPageShift);
 
     constexpr Tick victim_start = 20000;
     Tick done0 = 0;
     if (neighbor_active)
-        dma1.fetch({VaRun{seg1.base, seg1.bytes}}, [](Tick) {});
-    h.eq.schedule(victim_start, [&] {
-        dma0.fetch({VaRun{seg0.base, seg0.bytes}},
-                   [&](Tick at) { done0 = at; });
+        sys.dma(1).fetch({VaRun{seg1.base, seg1.bytes}}, [](Tick) {});
+    sys.eventQueue().schedule(victim_start, [&] {
+        sys.dma(0).fetch({VaRun{seg0.base, seg0.bytes}},
+                         [&](Tick at) { done0 = at; });
     });
-    h.eq.run();
+    sys.run();
     NEUMMU_ASSERT(done0 >= victim_start, "victim fetch lost");
     return done0 - victim_start;
 }
@@ -67,19 +62,26 @@ runShared(const MmuConfig &mmu_cfg, RouterPolicy policy,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("Extension: shared-IOMMU QoS",
                        "Two NPUs on one walker pool (paper future "
                        "work, Section IV-B)");
+    bench::Reporter reporter("ext_shared_qos", argc, argv);
 
     std::printf("%-22s %14s %14s %12s\n", "config", "solo_cyc",
                 "shared_cyc", "slowdown");
-    for (const auto &[name, mmu_cfg] :
-         {std::pair<const char *, MmuConfig>{"IOMMU(8 PTW)",
-                                             baselineIommuConfig()},
-          std::pair<const char *, MmuConfig>{"NeuMMU(128 PTW)",
-                                             neuMmuConfig()}}) {
+    struct Engine
+    {
+        const char *name;
+        const char *key;
+        MmuConfig cfg;
+    };
+    const Engine engines[] = {
+        {"IOMMU(8 PTW)", "IOMMU", baselineIommuConfig()},
+        {"NeuMMU(128 PTW)", "NeuMMU", neuMmuConfig()},
+    };
+    for (const auto &[name, key, mmu_cfg] : engines) {
         const Tick solo =
             runShared(mmu_cfg, RouterPolicy::Shared, false);
         const Tick shared =
@@ -93,6 +95,14 @@ main()
         std::printf("%-22s %14s %14llu %11.2fx\n", "  + partitioned",
                     "-", (unsigned long long)part,
                     double(part) / double(solo));
+
+        stats::Group &g = reporter.group(key);
+        g.scalar("soloCycles").set(double(solo));
+        g.scalar("sharedCycles").set(double(shared));
+        g.scalar("partitionedCycles").set(double(part));
+        g.scalar("sharedSlowdown").set(double(shared) / double(solo));
+        g.scalar("partitionedSlowdown")
+            .set(double(part) / double(solo));
     }
 
     std::printf("\nTakeaway: with a shared pool, the neighbor's burst "
@@ -101,5 +111,6 @@ main()
                 "large pool keeps even the partitioned share "
                 "sufficient -- the provisioning\nargument the paper "
                 "makes when leaving QoS policy as future work.\n");
+    reporter.finish();
     return 0;
 }

@@ -24,7 +24,7 @@ traceWorkload(WorkloadId id)
     cfg.batch = 1;
     // The burst pattern is a property of the DMA/workload; run under
     // the oracular MMU so the issue stream is not throttled.
-    cfg.mmu = oracleMmuConfig();
+    cfg.system.mmu = oracleMmuConfig();
     cfg.translationHook = [&](Tick t, Addr) {
         const std::size_t w = std::size_t(t / 1000);
         if (windows.size() <= w)

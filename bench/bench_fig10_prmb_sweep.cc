@@ -6,7 +6,6 @@
  */
 
 #include <cstdio>
-#include <map>
 #include <vector>
 
 #include "bench_util.hh"
@@ -14,43 +13,48 @@
 using namespace neummu;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("Figure 10",
                        "PRMB mergeable-slot sweep (8 PTWs, 2048-entry "
                        "TLB, 4 KB pages)");
+    bench::Reporter reporter("fig10", argc, argv);
 
     const std::vector<unsigned> slot_counts = {1, 2, 4, 8, 16, 32};
-    bench::DenseSweep sweep;
+    std::vector<bench::DesignPoint> designs;
+    for (const unsigned s : slot_counts) {
+        // Section IV-A staging: PRMB only -- no TPreg yet.
+        designs.push_back({"PRMB" + std::to_string(s),
+                           [s](DenseExperimentConfig &cfg) {
+                               cfg.system.mmu = baselineIommuConfig();
+                               cfg.system.mmu.prmbSlots = s;
+                           }});
+    }
 
     std::printf("%-12s", "workload");
     for (const unsigned s : slot_counts)
         std::printf(" PRMB(%2u)", s);
     std::printf("\n");
 
-    std::map<unsigned, std::vector<double>> norms;
-    for (const bench::GridPoint &gp : sweep.grid()) {
-        std::printf("%-12s", gp.label().c_str());
-        for (const unsigned s : slot_counts) {
-            // Section IV-A staging: PRMB only -- no TPreg yet.
-            const double norm = sweep.normalized(gp, [&](auto &cfg) {
-                cfg.mmu = baselineIommuConfig();
-                cfg.mmu.prmbSlots = s; // enables PTS + PRMB
-            });
-            norms[s].push_back(norm);
-            std::printf(" %8.4f", norm);
-        }
-        std::printf("\n");
-        std::fflush(stdout);
-    }
+    const bench::GridResults results = bench::runGrid(
+        SystemConfig{}, designs, bench::denseGrid(), &reporter,
+        [](const bench::GridPoint &gp,
+           const std::vector<bench::GridCell> &row) {
+            std::printf("%-12s", gp.label().c_str());
+            for (const bench::GridCell &c : row)
+                std::printf(" %8.4f", c.normalized);
+            std::printf("\n");
+            std::fflush(stdout);
+        });
 
     std::printf("\n%-12s", "average");
-    for (const unsigned s : slot_counts)
-        std::printf(" %8.4f", bench::mean(norms[s]));
+    for (const bench::DesignPoint &d : designs)
+        std::printf(" %8.4f", results.meanNormalized(d.name));
     std::printf("\n\nPaper reference: 8-32 slots capture the burst "
                 "locality; PRMB(32) with 8 PTWs\nreaches ~11%% of "
                 "oracle on average (max ~98%% on compute-bound "
                 "points), leaving\nthe throughput gap Fig. 11 closes "
                 "with more walkers.\n");
+    reporter.finish();
     return 0;
 }

@@ -6,7 +6,6 @@
  */
 
 #include <cstdio>
-#include <map>
 #include <vector>
 
 #include "bench_util.hh"
@@ -14,46 +13,52 @@
 using namespace neummu;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("Figure 11",
                        "PTW sweep with PRMB(32) (2048-entry TLB, "
                        "4 KB pages)");
+    bench::Reporter reporter("fig11", argc, argv);
 
     const std::vector<unsigned> ptw_counts = {8,  16,  32,  64,
                                               128, 256, 512, 1024};
-    bench::DenseSweep sweep;
+    std::vector<bench::DesignPoint> designs;
+    for (const unsigned p : ptw_counts) {
+        // Section IV-B staging: PRMB(32) + parallel PTWs; the TPreg
+        // is introduced later (Section IV-C) and would shift the
+        // knee left by shortening walks.
+        designs.push_back({"PTW" + std::to_string(p),
+                           [p](DenseExperimentConfig &cfg) {
+                               cfg.system.mmu = neuMmuConfig();
+                               cfg.system.mmu.numPtws = p;
+                               cfg.system.mmu.prmbSlots = 32;
+                               cfg.system.mmu.pathCache =
+                                   MmuCacheKind::None;
+                           }});
+    }
 
     std::printf("%-12s", "workload");
     for (const unsigned p : ptw_counts)
         std::printf(" PTW(%4u)", p);
     std::printf("\n");
 
-    std::map<unsigned, std::vector<double>> norms;
-    for (const bench::GridPoint &gp : sweep.grid()) {
-        std::printf("%-12s", gp.label().c_str());
-        for (const unsigned p : ptw_counts) {
-            // Section IV-B staging: PRMB(32) + parallel PTWs; the
-            // TPreg is introduced later (Section IV-C) and would
-            // shift the knee left by shortening walks.
-            const double norm = sweep.normalized(gp, [&](auto &cfg) {
-                cfg.mmu = neuMmuConfig();
-                cfg.mmu.numPtws = p;
-                cfg.mmu.prmbSlots = 32;
-                cfg.mmu.pathCache = MmuCacheKind::None;
-            });
-            norms[p].push_back(norm);
-            std::printf(" %9.4f", norm);
-        }
-        std::printf("\n");
-        std::fflush(stdout);
-    }
+    const bench::GridResults results = bench::runGrid(
+        SystemConfig{}, designs, bench::denseGrid(), &reporter,
+        [](const bench::GridPoint &gp,
+           const std::vector<bench::GridCell> &row) {
+            std::printf("%-12s", gp.label().c_str());
+            for (const bench::GridCell &c : row)
+                std::printf(" %9.4f", c.normalized);
+            std::printf("\n");
+            std::fflush(stdout);
+        });
 
     std::printf("\n%-12s", "average");
-    for (const unsigned p : ptw_counts)
-        std::printf(" %9.4f", bench::mean(norms[p]));
+    for (const bench::DesignPoint &d : designs)
+        std::printf(" %9.4f", results.meanNormalized(d.name));
     std::printf("\n\nPaper reference: going from 8 to 128 PTWs closes "
                 "the gap from ~11%% to ~99%%\nof oracle; beyond 128 "
                 "the curve saturates (Section IV-B).\n");
+    reporter.finish();
     return 0;
 }

@@ -7,54 +7,53 @@
  */
 
 #include <cstdio>
-#include <map>
 #include <vector>
 
 #include "bench_util.hh"
-#include "mmu/energy_model.hh"
 
 using namespace neummu;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("Figure 12",
                        "Walker parallelism vs. PRMB filtering: "
                        "performance and energy");
-
-    bench::DenseSweep sweep;
+    bench::Reporter reporter("fig12", argc, argv);
 
     // (a) PTW sweep without PRMB.
     const std::vector<unsigned> ptw_counts = {8,  16,  32,  64,
                                               128, 256, 512, 1024};
+    std::vector<bench::DesignPoint> ptw_designs;
+    for (const unsigned p : ptw_counts) {
+        ptw_designs.push_back({"noPRMB_PTW" + std::to_string(p),
+                               [p](DenseExperimentConfig &cfg) {
+                                   cfg.system.mmu =
+                                       baselineIommuConfig();
+                                   // no PTS/PRMB, no TPreg
+                                   cfg.system.mmu.numPtws = p;
+                               }});
+    }
+
     std::printf("(a) normalized performance, no PRMB\n%-12s",
                 "workload");
     for (const unsigned p : ptw_counts)
         std::printf(" PTW(%4u)", p);
     std::printf("\n");
 
-    std::map<unsigned, std::vector<double>> norms;
-    std::map<unsigned, double> no_prmb_energy;
-    for (const bench::GridPoint &gp : sweep.grid()) {
-        std::printf("%-12s", gp.label().c_str());
-        for (const unsigned p : ptw_counts) {
-            const DenseExperimentResult r =
-                sweep.run(gp, [&](auto &cfg) {
-                    cfg.mmu = baselineIommuConfig();
-                    cfg.mmu.numPtws = p; // no PTS/PRMB, no TPreg
-                });
-            const double norm = double(sweep.oracleCycles(gp)) /
-                                double(r.totalCycles);
-            norms[p].push_back(norm);
-            no_prmb_energy[p] += r.translationEnergyNj;
-            std::printf(" %9.4f", norm);
-        }
-        std::printf("\n");
-        std::fflush(stdout);
-    }
+    const bench::GridResults ptw_results = bench::runGrid(
+        SystemConfig{}, ptw_designs, bench::denseGrid(), &reporter,
+        [](const bench::GridPoint &gp,
+           const std::vector<bench::GridCell> &row) {
+            std::printf("%-12s", gp.label().c_str());
+            for (const bench::GridCell &c : row)
+                std::printf(" %9.4f", c.normalized);
+            std::printf("\n");
+            std::fflush(stdout);
+        });
     std::printf("%-12s", "average");
-    for (const unsigned p : ptw_counts)
-        std::printf(" %9.4f", bench::mean(norms[p]));
+    for (const bench::DesignPoint &d : ptw_designs)
+        std::printf(" %9.4f", ptw_results.meanNormalized(d.name));
     std::printf("\n\n");
 
     // (b) iso-capacity [M, N] sweep with M x N = 4096.
@@ -70,46 +69,44 @@ main()
         {512, 8},  {256, 16}, {128, 32}, {64, 64},   {32, 128},
         {16, 256}, {8, 512},  {4, 1024}, {2, 2048}, {1, 4096},
     };
+    std::vector<bench::DesignPoint> iso_designs;
+    for (const Point &pt : points) {
+        iso_designs.push_back(
+            {"PRMB" + std::to_string(pt.prmb) + "_PTW" +
+                 std::to_string(pt.ptws),
+             [pt](DenseExperimentConfig &cfg) {
+                 cfg.system.mmu = neuMmuConfig();
+                 cfg.system.mmu.numPtws = pt.ptws;
+                 cfg.system.mmu.prmbSlots = pt.prmb;
+                 // Isolate the PRMB-vs-PTW tradeoff (no TPreg).
+                 cfg.system.mmu.pathCache = MmuCacheKind::None;
+             }});
+    }
+    const bench::GridResults iso_results = bench::runGrid(
+        SystemConfig{}, iso_designs, bench::denseGrid(), &reporter);
 
+    const double nominal_energy = iso_results.energyNj("PRMB32_PTW128");
     std::printf("%-12s %12s %14s %14s\n", "[M,N]", "norm_perf",
                 "energy(uJ)", "norm_energy");
-    const EnergyModel energy_model;
-    double nominal_energy = 0.0;
-    std::vector<std::pair<Point, std::pair<double, double>>> rows;
-    for (const Point &pt : points) {
-        std::vector<double> perf;
-        double energy = 0.0;
-        for (const bench::GridPoint &gp : sweep.grid()) {
-            const DenseExperimentResult r =
-                sweep.run(gp, [&](auto &cfg) {
-                    cfg.mmu = neuMmuConfig();
-                    cfg.mmu.numPtws = pt.ptws;
-                    cfg.mmu.prmbSlots = pt.prmb;
-                    // Isolate the PRMB-vs-PTW tradeoff (no TPreg).
-                    cfg.mmu.pathCache = MmuCacheKind::None;
-                });
-            perf.push_back(double(sweep.oracleCycles(gp)) /
-                           double(r.totalCycles));
-            energy += r.translationEnergyNj;
-        }
-        if (pt.prmb == 32 && pt.ptws == 128)
-            nominal_energy = energy;
-        rows.push_back({pt, {bench::mean(perf), energy}});
-    }
-    for (const auto &[pt, val] : rows) {
+    for (std::size_t i = 0; i < points.size(); i++) {
+        const Point &pt = points[i];
+        const double energy = iso_results.energyNj(iso_designs[i].name);
         char label[24];
         std::snprintf(label, sizeof(label), "[%u,%u]%s", pt.prmb,
                       pt.ptws,
                       (pt.prmb == 32 && pt.ptws == 128) ? "*" : "");
-        std::printf("%-12s %12.4f %14.2f %14.3f\n", label, val.first,
-                    val.second / 1000.0, val.second / nominal_energy);
+        std::printf("%-12s %12.4f %14.2f %14.3f\n", label,
+                    iso_results.meanNormalized(iso_designs[i].name),
+                    energy / 1000.0, energy / nominal_energy);
     }
 
     std::printf("\nPTW(1024) without PRMB: %.4f of oracle at %.1fx "
                 "the [32,128] energy\n(paper: matches NeuMMU's "
                 "performance at up to 7.1x the energy -- the PRMB\n"
                 "is what filters the redundant same-page walks).\n",
-                bench::mean(norms[1024]),
-                no_prmb_energy[1024] / nominal_energy);
+                ptw_results.meanNormalized("noPRMB_PTW1024"),
+                ptw_results.energyNj("noPRMB_PTW1024") /
+                    nominal_energy);
+    reporter.finish();
     return 0;
 }

@@ -16,11 +16,12 @@
 using namespace neummu;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("Figure 15",
                        "Embedding-layer latency breakdown: baseline "
                        "copy vs. NUMA(slow/fast)");
+    bench::Reporter reporter("fig15", argc, argv);
 
     const EmbeddingSystemConfig cfg;
     const std::vector<EmbeddingModelSpec> models = {makeNcf(),
@@ -44,6 +45,17 @@ main()
             for (const EmbeddingPolicy pol : policies) {
                 const LatencyBreakdown lat =
                     runEmbeddingInference(spec, b, pol, cfg);
+                char key[64];
+                std::snprintf(key, sizeof(key), "%s.%s_b%02u",
+                              policyName(pol).c_str(),
+                              spec.name.c_str(), b);
+                stats::Group &g = reporter.group(key);
+                g.scalar("gemmCycles").set(double(lat.gemm));
+                g.scalar("reductionCycles").set(double(lat.reduction));
+                g.scalar("otherCycles").set(double(lat.other));
+                g.scalar("lookupCycles")
+                    .set(double(lat.embeddingLookup));
+                g.scalar("normTotal").set(lat.total() / base_total);
                 std::printf(
                     "%-6s %-4u %-12s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
                     spec.name.c_str(), b, policyName(pol).c_str(),
@@ -68,5 +80,6 @@ main()
     std::printf("Paper reference: 31%% (slow) and 71%% (fast) average "
                 "latency reduction; the\nbaseline bar is dominated by "
                 "the CPU-staged embedding copies (Section V).\n");
+    reporter.finish();
     return 0;
 }

@@ -15,11 +15,12 @@
 using namespace neummu;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("Figure 16",
                        "Demand paging sparse embeddings: 4 KB vs. "
                        "2 MB pages, IOMMU vs. NeuMMU");
+    bench::Reporter reporter("fig16", argc, argv);
 
     const EmbeddingSystemConfig cfg;
     const std::vector<EmbeddingModelSpec> models = {makeNcf(),
@@ -45,6 +46,20 @@ main()
                         runDemandPaging(spec, b, mmu, shift, cfg);
                     const double norm =
                         double(oracle) / double(r.totalCycles);
+                    char key[64];
+                    std::snprintf(key, sizeof(key), "%s_%s.%s_b%02u",
+                                  pagingMmuName(mmu).c_str(),
+                                  shift == smallPageShift ? "4KB"
+                                                          : "2MB",
+                                  spec.name.c_str(), b);
+                    stats::Group &g = reporter.group(key);
+                    g.scalar("normPerf").set(norm);
+                    g.scalar("cycles").set(double(r.totalCycles));
+                    g.scalar("faults").set(double(r.faults));
+                    g.scalar("migratedBytes")
+                        .set(double(r.migratedBytes));
+                    g.scalar("usefulBytes")
+                        .set(double(r.usefulBytes));
                     std::printf("%-6s %-4u %-10s %-10s %10.4f %10llu "
                                 "%10.1fMB %10.2fMB\n",
                                 spec.name.c_str(), b,
@@ -73,5 +88,6 @@ main()
                 "large pages migrate ~512x the useful bytes)\n",
                 bench::mean(small_iommu), bench::mean(small_neummu),
                 bench::mean(large_neummu));
+    reporter.finish();
     return 0;
 }

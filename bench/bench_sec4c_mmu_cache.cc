@@ -42,22 +42,22 @@ runPolicy(bench::DenseSweep &sweep, MmuCacheReplacement repl,
     for (const bench::GridPoint &gp : sweep.grid()) {
         const DenseExperimentResult tpc =
             sweep.run(gp, [&](auto &cfg) {
-                cfg.mmu = neuMmuConfig();
-                cfg.mmu.pathCache = MmuCacheKind::Tpc;
-                cfg.mmu.sharedCacheEntries = entries;
-                cfg.mmu.sharedCacheReplacement = repl;
+                cfg.system.mmu = neuMmuConfig();
+                cfg.system.mmu.pathCache = MmuCacheKind::Tpc;
+                cfg.system.mmu.sharedCacheEntries = entries;
+                cfg.system.mmu.sharedCacheReplacement = repl;
             });
         const DenseExperimentResult uptc =
             sweep.run(gp, [&](auto &cfg) {
-                cfg.mmu = neuMmuConfig();
-                cfg.mmu.pathCache = MmuCacheKind::Uptc;
-                cfg.mmu.sharedCacheEntries = entries;
-                cfg.mmu.sharedCacheReplacement = repl;
+                cfg.system.mmu = neuMmuConfig();
+                cfg.system.mmu.pathCache = MmuCacheKind::Uptc;
+                cfg.system.mmu.sharedCacheEntries = entries;
+                cfg.system.mmu.sharedCacheReplacement = repl;
             });
         const DenseExperimentResult none =
             sweep.run(gp, [](auto &cfg) {
-                cfg.mmu = neuMmuConfig();
-                cfg.mmu.pathCache = MmuCacheKind::None;
+                cfg.system.mmu = neuMmuConfig();
+                cfg.system.mmu.pathCache = MmuCacheKind::None;
             });
 
         const double consults = double(tpc.pathCache.consults);
@@ -113,7 +113,7 @@ main()
                        "(8 shared entries, scattered VA)");
 
     bench::DenseSweep sweep;
-    sweep.baseConfig().vaScatterShift = 39;
+    sweep.baseConfig().system.vaScatterShift = 39;
     constexpr std::size_t cache_entries = 8;
 
     std::printf("--- FIFO replacement (small hardware CAM) ---\n");

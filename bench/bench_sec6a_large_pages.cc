@@ -14,38 +14,41 @@
 using namespace neummu;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("Section VI-A",
                        "Dense workloads under 2 MB large pages "
                        "(normalized to oracle)");
+    bench::Reporter reporter("sec6a", argc, argv);
 
-    bench::DenseSweep sweep;
-    sweep.baseConfig().pageShift = largePageShift;
+    SystemConfig base;
+    base.pageShift = largePageShift;
+    const std::vector<bench::DesignPoint> designs = {
+        {"IOMMU_2MB", [](DenseExperimentConfig &cfg) {
+             cfg.system.mmuKind = MmuKind::BaselineIommu;
+         }},
+        {"NeuMMU_2MB", [](DenseExperimentConfig &cfg) {
+             cfg.system.mmuKind = MmuKind::NeuMmu;
+         }}};
 
-    std::vector<double> iommu_norm, neummu_norm;
     std::printf("%-12s %12s %12s\n", "workload", "IOMMU_2MB",
                 "NeuMMU_2MB");
-    for (const bench::GridPoint &gp : sweep.grid()) {
-        const double iommu = sweep.normalized(gp, [](auto &cfg) {
-            cfg.mmu = baselineIommuConfig(largePageShift);
+    const bench::GridResults results = bench::runGrid(
+        base, designs, bench::denseGrid(), &reporter,
+        [](const bench::GridPoint &gp,
+           const std::vector<bench::GridCell> &row) {
+            std::printf("%-12s %12.4f %12.4f\n", gp.label().c_str(),
+                        row[0].normalized, row[1].normalized);
+            std::fflush(stdout);
         });
-        const double neummu = sweep.normalized(gp, [](auto &cfg) {
-            cfg.mmu = neuMmuConfig(largePageShift);
-        });
-        iommu_norm.push_back(iommu);
-        neummu_norm.push_back(neummu);
-        std::printf("%-12s %12.4f %12.4f\n", gp.label().c_str(), iommu,
-                    neummu);
-        std::fflush(stdout);
-    }
 
     std::printf("\naverage overhead: IOMMU %.1f%% (paper: ~4%%, worst "
                 "10%%), NeuMMU %.2f%%\n",
-                (1.0 - bench::mean(iommu_norm)) * 100.0,
-                (1.0 - bench::mean(neummu_norm)) * 100.0);
+                (1.0 - results.meanNormalized("IOMMU_2MB")) * 100.0,
+                (1.0 - results.meanNormalized("NeuMMU_2MB")) * 100.0);
     std::printf("Large pages alone look like a silver bullet for "
                 "dense CNNs/RNNs; Fig. 16\nshows why small-page "
                 "translation must stay robust (Section VI-A).\n");
+    reporter.finish();
     return 0;
 }

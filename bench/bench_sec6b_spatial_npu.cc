@@ -14,36 +14,37 @@
 using namespace neummu;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("Section VI-B",
                        "Spatial-array NPU (4096 MACs/cycle): IOMMU vs. "
                        "NeuMMU, normalized to oracle");
+    bench::Reporter reporter("sec6b", argc, argv);
 
-    bench::DenseSweep sweep;
-    sweep.baseConfig().npu.compute = ComputeKind::Spatial;
+    SystemConfig base;
+    base.npu.compute = ComputeKind::Spatial;
+    const std::vector<bench::DesignPoint> designs = {
+        {"IOMMU", [](DenseExperimentConfig &cfg) {
+             cfg.system.mmuKind = MmuKind::BaselineIommu;
+         }},
+        {"NeuMMU", [](DenseExperimentConfig &cfg) {
+             cfg.system.mmuKind = MmuKind::NeuMmu;
+         }}};
 
-    std::vector<double> iommu_norm, neummu_norm;
     std::printf("%-12s %12s %12s\n", "workload", "IOMMU", "NeuMMU");
-    for (const bench::GridPoint &gp : sweep.grid()) {
-        const double iommu = sweep.normalized(gp, [](auto &cfg) {
-            cfg.npu.compute = ComputeKind::Spatial;
-            cfg.mmu = baselineIommuConfig();
+    const bench::GridResults results = bench::runGrid(
+        base, designs, bench::denseGrid(), &reporter,
+        [](const bench::GridPoint &gp,
+           const std::vector<bench::GridCell> &row) {
+            std::printf("%-12s %12.4f %12.4f\n", gp.label().c_str(),
+                        row[0].normalized, row[1].normalized);
+            std::fflush(stdout);
         });
-        const double neummu = sweep.normalized(gp, [](auto &cfg) {
-            cfg.npu.compute = ComputeKind::Spatial;
-            cfg.mmu = neuMmuConfig();
-        });
-        iommu_norm.push_back(iommu);
-        neummu_norm.push_back(neummu);
-        std::printf("%-12s %12.4f %12.4f\n", gp.label().c_str(), iommu,
-                    neummu);
-        std::fflush(stdout);
-    }
 
     std::printf("\naverage overhead: IOMMU %.1f%%, NeuMMU %.2f%% "
                 "(paper: NeuMMU ~2%% on spatial NPUs)\n",
-                (1.0 - bench::mean(iommu_norm)) * 100.0,
-                (1.0 - bench::mean(neummu_norm)) * 100.0);
+                (1.0 - results.meanNormalized("IOMMU")) * 100.0,
+                (1.0 - results.meanNormalized("NeuMMU")) * 100.0);
+    reporter.finish();
     return 0;
 }

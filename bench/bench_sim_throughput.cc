@@ -20,7 +20,7 @@ BM_DenseLayerOracle(benchmark::State &state)
     DenseExperimentConfig cfg;
     cfg.workload = WorkloadId::CNN1;
     cfg.batch = 1;
-    cfg.mmu = oracleMmuConfig();
+    cfg.system.mmu = oracleMmuConfig();
     cfg.layerOverride = makeWorkload(WorkloadId::CNN1, 1).layers;
     cfg.layerOverride.resize(2);
     std::uint64_t sim_cycles = 0;
@@ -40,7 +40,7 @@ BM_DenseLayerNeuMmu(benchmark::State &state)
     DenseExperimentConfig cfg;
     cfg.workload = WorkloadId::CNN1;
     cfg.batch = 1;
-    cfg.mmu = neuMmuConfig();
+    cfg.system.mmu = neuMmuConfig();
     cfg.layerOverride = makeWorkload(WorkloadId::CNN1, 1).layers;
     cfg.layerOverride.resize(2);
     std::uint64_t sim_cycles = 0;
@@ -60,7 +60,7 @@ BM_DenseLayerIommu(benchmark::State &state)
     DenseExperimentConfig cfg;
     cfg.workload = WorkloadId::CNN1;
     cfg.batch = 1;
-    cfg.mmu = baselineIommuConfig();
+    cfg.system.mmu = baselineIommuConfig();
     cfg.layerOverride = makeWorkload(WorkloadId::CNN1, 1).layers;
     cfg.layerOverride.resize(2);
     for (auto _ : state) {

@@ -1,25 +1,34 @@
 /**
  * @file
  * Shared helpers for the per-figure bench binaries: the standard
- * (workload x batch) grid of the paper's evaluation, oracle caching,
- * aggregate statistics, and table formatting.
+ * (workload x batch) grid of the paper's evaluation, the runGrid
+ * sweep entry point over a SystemConfig machine description, oracle
+ * caching, and the Reporter that records every grid cell in a
+ * StatsRegistry and serves the common --json=<path> output mode.
  */
 
 #ifndef NEUMMU_BENCH_BENCH_UTIL_HH
 #define NEUMMU_BENCH_BENCH_UTIL_HH
 
-#include <cmath>
 #include <cstdio>
 #include <functional>
+#include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/arg_parser.hh"
+#include "common/stats_registry.hh"
 #include "driver/dense_experiment.hh"
 #include "workloads/models.hh"
 
 namespace neummu {
 namespace bench {
+
+// One implementation of the aggregate helpers lives in common/stats.
+using stats::geomean;
+using stats::mean;
 
 /** The paper's dense evaluation grid: 6 workloads x b01/b04/b08. */
 struct GridPoint
@@ -35,6 +44,16 @@ struct GridPoint
                       workloadName(workload).c_str(), batch);
         return buf;
     }
+
+    /** Label without spaces, for stats-group and JSON keys. */
+    std::string
+    key() const
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%s_b%02u",
+                      workloadName(workload).c_str(), batch);
+        return buf;
+    }
 };
 
 inline std::vector<GridPoint>
@@ -45,30 +64,6 @@ denseGrid(std::vector<unsigned> batches = {1, 4, 8})
         for (const unsigned b : batches)
             grid.push_back(GridPoint{id, b});
     return grid;
-}
-
-/** Arithmetic mean. */
-inline double
-mean(const std::vector<double> &xs)
-{
-    if (xs.empty())
-        return 0.0;
-    double s = 0.0;
-    for (const double x : xs)
-        s += x;
-    return s / double(xs.size());
-}
-
-/** Geometric mean (for normalized-performance aggregates). */
-inline double
-geomean(const std::vector<double> &xs)
-{
-    if (xs.empty())
-        return 0.0;
-    double s = 0.0;
-    for (const double x : xs)
-        s += std::log(x);
-    return std::exp(s / double(xs.size()));
 }
 
 /**
@@ -100,7 +95,7 @@ class DenseSweep
         DenseExperimentConfig cfg = _base;
         cfg.workload = gp.workload;
         cfg.batch = gp.batch;
-        cfg.mmu = oracleMmuConfig(cfg.pageShift);
+        cfg.system.mmuKind = MmuKind::Oracle;
         const Tick cycles = runDenseExperiment(cfg).totalCycles;
         _oracle.emplace(key, cycles);
         return cycles;
@@ -132,6 +127,168 @@ class DenseSweep
     DenseExperimentConfig _base;
     std::map<std::pair<int, unsigned>, Tick> _oracle;
 };
+
+/** One named MMU/machine design point of a sweep. */
+struct DesignPoint
+{
+    std::string name;
+    DenseSweep::ConfigMutator mutate;
+};
+
+/** Result of one (grid point, design point) cell. */
+struct GridCell
+{
+    GridPoint point{};
+    std::string design;
+    Tick oracleCycles = 0;
+    double normalized = 0.0;
+    DenseExperimentResult result;
+};
+
+/** All cells of one runGrid() call, in (point, design) run order. */
+struct GridResults
+{
+    std::vector<GridCell> cells;
+
+    /** Normalized performance of @p design across the grid. */
+    std::vector<double>
+    normalized(const std::string &design) const
+    {
+        std::vector<double> out;
+        for (const GridCell &c : cells)
+            if (c.design == design)
+                out.push_back(c.normalized);
+        return out;
+    }
+
+    double
+    meanNormalized(const std::string &design) const
+    {
+        return mean(normalized(design));
+    }
+
+    /** Sum of translation energy for @p design across the grid. */
+    double
+    energyNj(const std::string &design) const
+    {
+        double e = 0.0;
+        for (const GridCell &c : cells)
+            if (c.design == design)
+                e += c.result.translationEnergyNj;
+        return e;
+    }
+};
+
+/**
+ * Common bench I/O: parses the shared command-line options and
+ * records results in a StatsRegistry. Every recorded cell (and any
+ * ad-hoc group()) flows through the registry's single JSON path when
+ * the bench is invoked with --json=<path>; --stats dumps the registry
+ * as text to stdout.
+ */
+class Reporter
+{
+  public:
+    Reporter(std::string bench_name, int argc, char **argv)
+        : _name(std::move(bench_name)), _args(argc, argv)
+    {
+    }
+
+    const ArgParser &args() const { return _args; }
+    stats::StatsRegistry &registry() { return _registry; }
+
+    /** Registry-owned group for ad-hoc (non-grid) results. */
+    stats::Group &
+    group(const std::string &group_name)
+    {
+        return _registry.group(group_name);
+    }
+
+    /** Record one grid cell as a "<design>.<point>" stats group. */
+    void
+    record(const GridCell &cell)
+    {
+        stats::Group &g =
+            _registry.group(cell.design + "." + cell.point.key());
+        g.scalar("normPerf").set(cell.normalized);
+        g.scalar("cycles").set(double(cell.result.totalCycles));
+        g.scalar("oracleCycles").set(double(cell.oracleCycles));
+        g.scalar("walks").set(double(cell.result.mmu.walks));
+        g.scalar("redundantWalks")
+            .set(double(cell.result.mmu.redundantWalks));
+        g.scalar("walkMemAccesses")
+            .set(double(cell.result.mmu.walkMemAccesses));
+        g.scalar("prmbMerges").set(double(cell.result.mmu.prmbMerges));
+        g.scalar("tlbHits").set(double(cell.result.mmu.tlbHits));
+        g.scalar("tlbMisses").set(double(cell.result.mmu.tlbMisses));
+        g.scalar("blockedIssues")
+            .set(double(cell.result.mmu.blockedIssues));
+        g.scalar("dmaStallCycles")
+            .set(double(cell.result.dmaStallCycles));
+        g.scalar("energyNj").set(cell.result.translationEnergyNj);
+    }
+
+    /** Handle --json/--stats; call once at the end of main(). */
+    void
+    finish()
+    {
+        if (_args.getBool("stats", false))
+            _registry.dumpText(std::cout);
+        const std::string path = _args.get("json", "");
+        if (!path.empty() && _registry.writeJsonFile(path))
+            std::printf("\n[%s] wrote JSON results to %s\n",
+                        _name.c_str(), path.c_str());
+    }
+
+  private:
+    std::string _name;
+    ArgParser _args;
+    stats::StatsRegistry _registry;
+};
+
+/** Called once per grid point with that point's row of cells. */
+using RowObserver = std::function<void(
+    const GridPoint &, const std::vector<GridCell> &)>;
+
+/**
+ * The bench entry point: run every design point of @p designs over
+ * @p grid on the machine described by @p base (workload and MMU
+ * design point applied per cell), normalizing each cell to a cached
+ * oracle run of the same machine. Cells are recorded into
+ * @p reporter (when given) and @p on_row fires after each completed
+ * grid point, in grid order, for live table output.
+ */
+inline GridResults
+runGrid(const SystemConfig &base,
+        const std::vector<DesignPoint> &designs,
+        const std::vector<GridPoint> &grid = denseGrid(),
+        Reporter *reporter = nullptr, const RowObserver &on_row = {})
+{
+    DenseSweep sweep(grid);
+    sweep.baseConfig().system = base;
+    GridResults results;
+    for (const GridPoint &gp : grid) {
+        std::vector<GridCell> row;
+        row.reserve(designs.size());
+        for (const DesignPoint &design : designs) {
+            GridCell cell;
+            cell.point = gp;
+            cell.design = design.name;
+            cell.result = sweep.run(gp, design.mutate);
+            cell.oracleCycles = sweep.oracleCycles(gp);
+            cell.normalized = double(cell.oracleCycles) /
+                              double(cell.result.totalCycles);
+            if (reporter)
+                reporter->record(cell);
+            row.push_back(std::move(cell));
+        }
+        if (on_row)
+            on_row(gp, row);
+        for (GridCell &cell : row)
+            results.cells.push_back(std::move(cell));
+    }
+    return results;
+}
 
 /** Prints the standard figure header with a reproduction note. */
 inline void

@@ -50,9 +50,9 @@ main(int argc, char **argv)
     DenseExperimentConfig cfg;
     cfg.workload = workload;
     cfg.batch = batch;
-    cfg.pageShift = page_shift;
+    cfg.system.pageShift = page_shift;
     if (args.getBool("spatial", false))
-        cfg.npu.compute = ComputeKind::Spatial;
+        cfg.system.npu.compute = ComputeKind::Spatial;
 
     struct DesignPoint
     {
@@ -73,14 +73,14 @@ main(int argc, char **argv)
     std::printf("%s, batch %u, %s pages, %s array\n\n",
                 workloadName(workload).c_str(), batch,
                 page_shift == smallPageShift ? "4 KB" : "2 MB",
-                cfg.npu.compute == ComputeKind::Systolic ? "systolic"
+                cfg.system.npu.compute == ComputeKind::Systolic ? "systolic"
                                                          : "spatial");
 
     Tick oracle_cycles = 0;
     std::printf("%-14s %14s %8s %12s %12s %10s\n", "design", "cycles",
                 "norm", "walks", "walkDram", "stall");
     for (const DesignPoint &dp : points) {
-        cfg.mmu = dp.mmu;
+        cfg.system.mmu = dp.mmu;
         const DenseExperimentResult r = runDenseExperiment(cfg);
         if (oracle_cycles == 0)
             oracle_cycles = r.totalCycles;
@@ -93,7 +93,7 @@ main(int argc, char **argv)
     }
 
     // Per-layer view under the baseline IOMMU: which layers hurt.
-    cfg.mmu = baselineIommuConfig(page_shift);
+    cfg.system.mmu = baselineIommuConfig(page_shift);
     const DenseExperimentResult detail = runDenseExperiment(cfg);
     std::printf("\nper-layer breakdown under the baseline IOMMU "
                 "(top 8 by cycles):\n");

@@ -34,7 +34,7 @@ main(int argc, char **argv)
     DenseExperimentConfig base;
     base.workload = workload;
     base.batch = batch;
-    base.mmu = oracleMmuConfig();
+    base.system.mmu = oracleMmuConfig();
     const Tick oracle = runDenseExperiment(base).totalCycles;
 
     std::printf("%s b%u: oracle = %llu cycles\n\n",
@@ -62,11 +62,11 @@ main(int argc, char **argv)
     Candidate best{};
     for (const Candidate &c : grid) {
         DenseExperimentConfig cfg = base;
-        cfg.mmu = MmuConfig{};
-        cfg.mmu.tlb = TlbConfig{c.tlb, 0, 5};
-        cfg.mmu.numPtws = c.ptws;
-        cfg.mmu.prmbSlots = c.prmb;
-        cfg.mmu.pathCache = c.cache;
+        cfg.system.mmu = MmuConfig{};
+        cfg.system.mmu.tlb = TlbConfig{c.tlb, 0, 5};
+        cfg.system.mmu.numPtws = c.ptws;
+        cfg.system.mmu.prmbSlots = c.prmb;
+        cfg.system.mmu.pathCache = c.cache;
         const DenseExperimentResult r = runDenseExperiment(cfg);
         const double norm = double(oracle) / double(r.totalCycles);
         std::printf("%-6u %-6u %-8s %-6zu %10.4f %12llu %14.2f\n",

@@ -5,13 +5,17 @@
  * and NeuMMU -- and print cycle counts, translation activity, and
  * energy, reproducing the headline result (Section IV-D): the IOMMU
  * loses ~95% of performance, NeuMMU ~0%.
+ *
+ * The machine is described declaratively (SystemConfig) and built by
+ * the System layer; pass --dump-stats=1 to see every component's
+ * counters from the StatsRegistry after the NeuMMU run.
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "common/arg_parser.hh"
 #include "driver/dense_experiment.hh"
-#include "mmu/energy_model.hh"
 
 using namespace neummu;
 
@@ -25,33 +29,33 @@ main(int argc, char **argv)
     cfg.workload = WorkloadId::CNN1;
     cfg.batch = batch;
 
-    struct DesignPoint
-    {
-        const char *name;
-        MmuConfig mmu;
-    };
-    const DesignPoint points[] = {
-        {"Oracle", oracleMmuConfig()},
-        {"IOMMU", baselineIommuConfig()},
-        {"NeuMMU", neuMmuConfig()},
-    };
+    const MmuKind points[] = {MmuKind::Oracle, MmuKind::BaselineIommu,
+                              MmuKind::NeuMmu};
 
     std::printf("AlexNet (CNN-1), batch %u, 4 KB pages\n\n", batch);
     std::printf("%-8s %14s %10s %12s %12s %14s\n", "MMU", "cycles",
                 "norm", "walks", "walkDram", "energy(uJ)");
 
     Tick oracle_cycles = 0;
-    for (const DesignPoint &dp : points) {
-        cfg.mmu = dp.mmu;
-        const DenseExperimentResult r = runDenseExperiment(cfg);
+    for (const MmuKind kind : points) {
+        cfg.system.mmuKind = kind;
+        System system(cfg.system);
+        const DenseExperimentResult r = runDenseExperiment(cfg, system);
         if (oracle_cycles == 0)
             oracle_cycles = r.totalCycles;
-        std::printf("%-8s %14llu %10.4f %12llu %12llu %14.2f\n", dp.name,
+        std::printf("%-8s %14llu %10.4f %12llu %12llu %14.2f\n",
+                    mmuKindName(kind).c_str(),
                     (unsigned long long)r.totalCycles,
                     double(oracle_cycles) / double(r.totalCycles),
                     (unsigned long long)r.mmu.walks,
                     (unsigned long long)r.mmu.walkMemAccesses,
                     r.translationEnergyNj / 1000.0);
+
+        if (kind == MmuKind::NeuMmu &&
+            args.getBool("dump-stats", false)) {
+            std::printf("\nStatsRegistry dump (NeuMMU machine):\n");
+            system.dumpStatsText(std::cout);
+        }
     }
     return 0;
 }

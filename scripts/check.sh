@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CI entry point: configure + build everything with warnings as
+# errors, then run the full test suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DNEUMMU_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

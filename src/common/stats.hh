@@ -8,6 +8,7 @@
 #define NEUMMU_COMMON_STATS_HH
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -18,6 +19,38 @@
 namespace neummu {
 namespace stats {
 
+/** Arithmetic mean; 0 for an empty sample. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const double x : xs)
+        s += x;
+    return s / double(xs.size());
+}
+
+/**
+ * Geometric mean (for normalized-performance aggregates). Zero and
+ * negative inputs have no geometric mean; they are skipped rather
+ * than silently producing -inf/NaN, and 0 is returned when no
+ * positive sample remains.
+ */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    double s = 0.0;
+    std::uint64_t n = 0;
+    for (const double x : xs) {
+        if (x <= 0.0)
+            continue;
+        s += std::log(x);
+        n++;
+    }
+    return n ? std::exp(s / double(n)) : 0.0;
+}
+
 /** A monotonically accumulating scalar counter. */
 class Scalar
 {
@@ -26,6 +59,8 @@ class Scalar
 
     Scalar &operator+=(double v) { _value += v; return *this; }
     Scalar &operator++() { _value += 1.0; return *this; }
+    /** Overwrite the value (for gauges and recorded results). */
+    void set(double v) { _value = v; }
     void reset() { _value = 0.0; }
 
     double value() const { return _value; }
@@ -114,6 +149,16 @@ class Group
     Average &average(const std::string &stat_name);
 
     const std::string &name() const { return _name; }
+
+    /** Registered statistics, for generic serialization. */
+    const std::map<std::string, Scalar> &scalars() const
+    {
+        return _scalars;
+    }
+    const std::map<std::string, Average> &averages() const
+    {
+        return _averages;
+    }
 
     /** Write "group.stat value" lines to @p os. */
     void dump(std::ostream &os) const;

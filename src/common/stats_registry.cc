@@ -1,0 +1,146 @@
+#include "common/stats_registry.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace neummu {
+namespace stats {
+
+void
+StatsRegistry::add(Group &group)
+{
+    _groups.push_back(&group);
+}
+
+Group &
+StatsRegistry::group(const std::string &name)
+{
+    for (const auto &owned : _owned) {
+        if (owned->name() == name)
+            return *owned;
+    }
+    _owned.push_back(std::make_unique<Group>(name));
+    _groups.push_back(_owned.back().get());
+    return *_owned.back();
+}
+
+const Group *
+StatsRegistry::find(const std::string &name) const
+{
+    for (const Group *g : _groups) {
+        if (g->name() == name)
+            return g;
+    }
+    return nullptr;
+}
+
+void
+StatsRegistry::dumpText(std::ostream &os) const
+{
+    for (const Group *g : _groups)
+        g->dump(os);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** JSON number: integers without a fraction, non-finite as null. */
+void
+writeNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+    } else if (v == std::int64_t(v)) {
+        os << std::int64_t(v);
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os << buf;
+    }
+}
+
+} // namespace
+
+void
+StatsRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first_group = true;
+    for (const Group *g : _groups) {
+        if (!first_group)
+            os << ",";
+        first_group = false;
+        os << "\n  \"" << jsonEscape(g->name()) << "\": {";
+        bool first_stat = true;
+        for (const auto &[stat_name, s] : g->scalars()) {
+            if (!first_stat)
+                os << ",";
+            first_stat = false;
+            os << "\n    \"" << jsonEscape(stat_name) << "\": ";
+            writeNumber(os, s.value());
+        }
+        for (const auto &[stat_name, a] : g->averages()) {
+            if (!first_stat)
+                os << ",";
+            first_stat = false;
+            os << "\n    \"" << jsonEscape(stat_name)
+               << "\": {\"mean\": ";
+            writeNumber(os, a.mean());
+            os << ", \"count\": " << a.count() << ", \"min\": ";
+            writeNumber(os, a.min());
+            os << ", \"max\": ";
+            writeNumber(os, a.max());
+            os << "}";
+        }
+        os << "\n  }";
+    }
+    os << "\n}\n";
+}
+
+bool
+StatsRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open JSON output file " + path);
+        return false;
+    }
+    dumpJson(out);
+    return bool(out);
+}
+
+void
+StatsRegistry::reset()
+{
+    for (Group *g : _groups)
+        g->reset();
+}
+
+} // namespace stats
+} // namespace neummu

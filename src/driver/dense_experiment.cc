@@ -4,65 +4,48 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
-#include "npu/dma_engine.hh"
-#include "npu/tile_pipeline.hh"
-#include "sim/event_queue.hh"
-#include "vm/address_space.hh"
-#include "vm/frame_allocator.hh"
-#include "vm/page_table.hh"
 #include "workloads/tiler.hh"
 
 namespace neummu {
 
 DenseExperimentResult
-runDenseExperiment(const DenseExperimentConfig &cfg)
+runDenseExperiment(const DenseExperimentConfig &cfg, System &system)
 {
-    NEUMMU_ASSERT(cfg.mmu.pageShift == cfg.pageShift,
-                  "MMU page size and experiment page size must agree");
-
     Workload wl = makeWorkload(cfg.workload, cfg.batch);
     if (!cfg.layerOverride.empty())
         wl.layers = cfg.layerOverride;
 
-    // Physical nodes: the host owns the page tables; the NPU node
-    // backs the tensors (private HBM).
-    FrameAllocator host_node("host.dram", Addr(1) << 40, 16 * GiB);
-    FrameAllocator npu_node("npu0.hbm", Addr(2) << 40, 64 * GiB);
-    PageTable page_table(host_node);
-    AddressSpace vas(page_table, Addr(0x100) << 30,
-                     cfg.vaScatterShift);
+    const unsigned page_shift = cfg.system.pageShift;
 
     // VA layout: every layer owns fresh IA and W segments, as a
     // framework allocating all tensors up front would lay them out.
     // Weights are never re-addressed across layers, so the only
     // translation reuse is the intra-layer kind the paper studies
     // (Section IV-C); Fig. 14's VA bands are these segments.
+    AddressSpace &vas = system.addressSpace();
+    FrameAllocator &hbm = system.hbmNode(0);
     std::vector<std::pair<Segment, Segment>> layer_segs;
     layer_segs.reserve(wl.layers.size());
     for (const LayerSpec &layer : wl.layers) {
         const std::uint64_t ia_bytes = std::max<std::uint64_t>(
-            layer.iaBytes(cfg.npu.elemBytes), pageSize(cfg.pageShift));
+            layer.iaBytes(cfg.system.npu.elemBytes),
+            pageSize(page_shift));
         const std::uint64_t w_bytes = std::max<std::uint64_t>(
-            layer.wBytes(cfg.npu.elemBytes), pageSize(cfg.pageShift));
+            layer.wBytes(cfg.system.npu.elemBytes),
+            pageSize(page_shift));
         layer_segs.emplace_back(
-            vas.allocateBacked(layer.name + ".ia", ia_bytes, npu_node,
-                               cfg.pageShift),
-            vas.allocateBacked(layer.name + ".w", w_bytes, npu_node,
-                               cfg.pageShift));
+            vas.allocateBacked(layer.name + ".ia", ia_bytes, hbm,
+                               page_shift),
+            vas.allocateBacked(layer.name + ".w", w_bytes, hbm,
+                               page_shift));
     }
 
-    EventQueue eq;
-    MemoryModel memory("npu0.mem", cfg.memory);
-    MmuCore mmu("mmu", eq, page_table, cfg.mmu);
-    DmaConfig dma_cfg;
-    dma_cfg.burstBytes = cfg.npu.dmaBurstBytes;
-    dma_cfg.pageShift = cfg.pageShift;
-    DmaEngine dma("dma", eq, mmu, memory, dma_cfg);
+    DmaEngine &dma = system.dma(0);
     if (cfg.translationHook)
         dma.setIssueHook(cfg.translationHook);
-    TilePipeline pipeline(eq, dma, cfg.bufferDepth);
+    TilePipeline &pipeline = system.pipeline(0);
 
-    Tiler tiler(cfg.npu);
+    Tiler tiler(cfg.system.npu);
     DenseExperimentResult result;
 
     for (std::size_t li = 0; li < wl.layers.size(); li++) {
@@ -81,7 +64,8 @@ runDenseExperiment(const DenseExperimentConfig &cfg)
         result.layers.push_back(std::move(lr));
     }
 
-    result.totalCycles = eq.now();
+    MmuCore &mmu = system.mmu();
+    result.totalCycles = system.now();
     result.mmu = mmu.counts();
     result.tpreg = mmu.tpregStats();
     if (const MmuCacheStats *pcs = mmu.sharedCacheStats())
@@ -93,11 +77,18 @@ runDenseExperiment(const DenseExperimentConfig &cfg)
     return result;
 }
 
+DenseExperimentResult
+runDenseExperiment(const DenseExperimentConfig &cfg)
+{
+    System system(cfg.system);
+    return runDenseExperiment(cfg, system);
+}
+
 double
 normalizedPerformance(const DenseExperimentConfig &cfg)
 {
     DenseExperimentConfig oracle_cfg = cfg;
-    oracle_cfg.mmu = oracleMmuConfig(cfg.pageShift);
+    oracle_cfg.system.mmuKind = MmuKind::Oracle;
     const DenseExperimentResult oracle = runDenseExperiment(oracle_cfg);
     const DenseExperimentResult run = runDenseExperiment(cfg);
     NEUMMU_ASSERT(run.totalCycles > 0, "empty run");

@@ -1,8 +1,8 @@
 /**
  * @file
  * One-call runner for the dense-DNN experiments (Sections III-IV,
- * VI-A/B/C): builds the NPU + memory + page-table + MMU stack, tiles
- * the workload, runs the tile pipeline layer by layer, and reports
+ * VI-A/B/C): composes the machine through the System layer, tiles the
+ * workload, runs NPU 0's tile pipeline layer by layer, and reports
  * cycles, translation activity, and energy.
  */
 
@@ -15,33 +15,24 @@
 #include <vector>
 
 #include "common/types.hh"
-#include "mem/memory_model.hh"
 #include "mmu/energy_model.hh"
-#include "mmu/mmu_core.hh"
-#include "npu/npu_config.hh"
+#include "system/system.hh"
 #include "workloads/models.hh"
 
 namespace neummu {
 
-/** Configuration of one dense run. */
+/**
+ * Configuration of one dense run: the workload plus the machine it
+ * runs on. All machine-level knobs (MMU design point, NPU compute
+ * substrate, memory timing, page size, buffer depth, VA scatter) live
+ * in the embedded SystemConfig.
+ */
 struct DenseExperimentConfig
 {
     WorkloadId workload = WorkloadId::CNN1;
     unsigned batch = 1;
-    MmuConfig mmu = baselineIommuConfig();
-    NpuConfig npu{};
-    MemoryConfig memory{};
-    /** 12 (4 KB) or 21 (2 MB); must match mmu.pageShift. */
-    unsigned pageShift = smallPageShift;
-    /** Tile-buffer depth (2 = double buffering, Fig. 3). */
-    unsigned bufferDepth = 2;
-    /**
-     * VA-layout scatter shift (0 = packed segments). 39 places every
-     * tensor in its own L4 subtree, modeling allocators that reserve
-     * VA at very large granularity (used by the Section IV-C
-     * translation-cache study).
-     */
-    unsigned vaScatterShift = 0;
+    /** Machine description; the dense driver runs on NPU 0. */
+    SystemConfig system{};
     /** Override the layer list (empty = full workload). */
     std::vector<LayerSpec> layerOverride;
     /** Optional observation hook for issued translations (Fig. 7). */
@@ -75,6 +66,14 @@ struct DenseExperimentResult
 /** Run one dense experiment to completion. */
 DenseExperimentResult runDenseExperiment(
     const DenseExperimentConfig &cfg);
+
+/**
+ * Run one dense experiment on an already-built @p system (which must
+ * match @p cfg.system); lets callers inspect the live components and
+ * the StatsRegistry afterwards.
+ */
+DenseExperimentResult runDenseExperiment(
+    const DenseExperimentConfig &cfg, System &system);
 
 /**
  * Convenience: performance of @p cfg normalized to the oracular MMU

@@ -39,6 +39,54 @@ oracleMmuConfig(unsigned page_shift)
     return cfg;
 }
 
+std::string
+mmuKindName(MmuKind kind)
+{
+    switch (kind) {
+      case MmuKind::Oracle: return "Oracle";
+      case MmuKind::BaselineIommu: return "Baseline";
+      case MmuKind::NeuMmu: return "NeuMMU";
+      case MmuKind::Custom: return "Custom";
+    }
+    NEUMMU_PANIC("unknown MMU kind");
+}
+
+MmuConfig
+mmuConfigFor(MmuKind kind, unsigned page_shift)
+{
+    switch (kind) {
+      case MmuKind::Oracle: return oracleMmuConfig(page_shift);
+      case MmuKind::BaselineIommu:
+        return baselineIommuConfig(page_shift);
+      case MmuKind::NeuMmu: return neuMmuConfig(page_shift);
+      case MmuKind::Custom:
+        NEUMMU_PANIC("Custom MMU kind has no canned config");
+    }
+    NEUMMU_PANIC("unknown MMU kind");
+}
+
+void
+MmuCore::refreshStats()
+{
+    const auto set = [this](const char *stat, std::uint64_t v) {
+        _stats.scalar(stat).set(double(v));
+    };
+    set("requests", _counts.requests);
+    set("responses", _counts.responses);
+    set("tlbHits", _counts.tlbHits);
+    set("tlbMisses", _counts.tlbMisses);
+    set("walks", _counts.walks);
+    set("redundantWalks", _counts.redundantWalks);
+    set("prmbMerges", _counts.prmbMerges);
+    set("blockedIssues", _counts.blockedIssues);
+    set("walkMemAccesses", _counts.walkMemAccesses);
+    set("faults", _counts.faults);
+    set("prefetchWalks", _counts.prefetchWalks);
+    set("ptsLookups", _counts.ptsLookups);
+    set("pathCacheConsults", _counts.pathCacheConsults);
+    set("pathCacheSkippedLevels", _counts.pathCacheSkippedLevels);
+}
+
 MmuCore::MmuCore(std::string name, EventQueue &eq, PageTable &pt,
                  MmuConfig cfg)
     : _name(std::move(name)), _eq(eq), _pt(pt), _cfg(cfg),

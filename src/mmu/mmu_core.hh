@@ -79,6 +79,27 @@ MmuConfig neuMmuConfig(unsigned page_shift = smallPageShift);
 MmuConfig oracleMmuConfig(unsigned page_shift = smallPageShift);
 
 /**
+ * The paper's three named MMU design points, plus Custom for a
+ * hand-tuned MmuConfig. SystemConfig selects the translation engine
+ * by kind; Custom defers to an explicit MmuConfig.
+ */
+enum class MmuKind
+{
+    Oracle,
+    BaselineIommu,
+    NeuMmu,
+    Custom,
+};
+
+std::string mmuKindName(MmuKind kind);
+
+/**
+ * The canned MmuConfig for a non-Custom @p kind at @p page_shift.
+ * @pre kind != MmuKind::Custom
+ */
+MmuConfig mmuConfigFor(MmuKind kind, unsigned page_shift);
+
+/**
  * The translation engine. Timing flows through the shared EventQueue;
  * functional translations come from the (CPU-owned) PageTable the
  * IOMMU has walk privileges for (Section II-B).
@@ -108,6 +129,12 @@ class MmuCore : public TranslationEngine
     const MmuConfig &config() const { return _cfg; }
     Tlb &tlb() { return _tlb; }
     stats::Group &stats() { return _stats; }
+
+    /**
+     * Mirror the live MmuCounts into the stats group (counters are
+     * kept in a plain struct off the hot path); call before dumping.
+     */
+    void refreshStats();
 
     /** Fig. 13: per-level TPreg tag-match statistics (all PTWs). */
     const TpReg::MatchStats &tpregStats() const { return _tpregStats; }

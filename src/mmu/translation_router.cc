@@ -13,8 +13,13 @@ namespace neummu {
 class TranslationRouter::Port : public TranslationEngine
 {
   public:
-    Port(TranslationRouter &router, unsigned client)
-        : _router(router), _client(client)
+    Port(TranslationRouter &router, unsigned client,
+         const std::string &name)
+        : _router(router), _client(client), _stats(name),
+          _sRequests(_stats.scalar("requests")),
+          _sResponses(_stats.scalar("responses")),
+          _sBlockedIssues(_stats.scalar("blockedIssues")),
+          _sCapRejections(_stats.scalar("capRejections"))
     {
     }
 
@@ -49,21 +54,34 @@ class TranslationRouter::Port : public TranslationEngine
     WakeCallback _wake;
     MmuCounts _counts;
     std::uint64_t _inflight = 0;
+    std::uint64_t _maxInflight = 0;
     std::uint64_t _capRejections = 0;
+    /** A cap rejection is pending a below-cap retry wake. */
+    bool _capBlocked = false;
+    stats::Group _stats;
+    // Scalar handles resolved once; the translate/response hot path
+    // must not pay per-call map lookups.
+    stats::Scalar &_sRequests;
+    stats::Scalar &_sResponses;
+    stats::Scalar &_sBlockedIssues;
+    stats::Scalar &_sCapRejections;
 };
 
 TranslationRouter::TranslationRouter(TranslationEngine &engine,
                                      unsigned num_clients,
                                      RouterPolicy policy,
-                                     unsigned walker_budget)
-    : _engine(engine), _policy(policy)
+                                     unsigned walker_budget,
+                                     std::string name)
+    : _engine(engine), _policy(policy), _name(std::move(name))
 {
     NEUMMU_ASSERT(num_clients > 0, "router needs at least one client");
     NEUMMU_ASSERT(num_clients < 256, "client tag is one byte");
     _perClientCap =
         walker_budget >= num_clients ? walker_budget / num_clients : 1;
-    for (unsigned c = 0; c < num_clients; c++)
-        _ports.push_back(std::make_unique<Port>(*this, c));
+    for (unsigned c = 0; c < num_clients; c++) {
+        _ports.push_back(std::make_unique<Port>(
+            *this, c, _name + ".client" + std::to_string(c)));
+    }
 
     _engine.setResponseCallback(
         [this](const TranslationResponse &resp) { onResponse(resp); });
@@ -91,25 +109,49 @@ TranslationRouter::capRejections(unsigned client) const
     return _ports[client]->_capRejections;
 }
 
+std::uint64_t
+TranslationRouter::maxInflight(unsigned client) const
+{
+    return _ports[client]->_maxInflight;
+}
+
+const MmuCounts &
+TranslationRouter::clientCounts(unsigned client) const
+{
+    return _ports[client]->_counts;
+}
+
+stats::Group &
+TranslationRouter::clientStats(unsigned client)
+{
+    return _ports[client]->_stats;
+}
+
 bool
 TranslationRouter::tryTranslate(unsigned client, Addr va,
                                 std::uint64_t id)
 {
     Port &port = *_ports[client];
     port._counts.requests++;
+    ++port._sRequests;
     if (_policy == RouterPolicy::Partitioned &&
         port._inflight >= _perClientCap) {
         port._capRejections++;
         port._counts.blockedIssues++;
+        port._capBlocked = true;
+        ++port._sCapRejections;
+        ++port._sBlockedIssues;
         return false;
     }
     const std::uint64_t tagged =
         (std::uint64_t(client) << clientShift) | id;
     if (!_engine.translate(va, tagged)) {
         port._counts.blockedIssues++;
+        ++port._sBlockedIssues;
         return false;
     }
     port._inflight++;
+    port._maxInflight = std::max(port._maxInflight, port._inflight);
     return true;
 }
 
@@ -122,11 +164,21 @@ TranslationRouter::onResponse(const TranslationResponse &resp)
     NEUMMU_ASSERT(port._inflight > 0, "response underflow");
     port._inflight--;
     port._counts.responses++;
+    ++port._sResponses;
 
     TranslationResponse untagged = resp;
     untagged.id = resp.id & ((std::uint64_t(1) << clientShift) - 1);
     NEUMMU_ASSERT(port._respond, "client has no response callback");
     port._respond(untagged);
+
+    // A client the router itself capped is not woken by the engine
+    // (the engine never saw its rejected request): wake it as soon as
+    // its own completions bring it back under the cap.
+    if (port._capBlocked && port._inflight < _perClientCap) {
+        port._capBlocked = false;
+        if (port._wake)
+            port._wake();
+    }
 }
 
 void

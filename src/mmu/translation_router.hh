@@ -20,8 +20,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "mmu/translation.hh"
 
 namespace neummu {
@@ -49,19 +51,36 @@ class TranslationRouter
      * @param policy Arbitration policy.
      * @param walker_budget Total walker count used to size the
      *        per-client cap under Partitioned.
+     * @param name Stats prefix; per-client groups are named
+     *        "<name>.client<i>".
      */
     TranslationRouter(TranslationEngine &engine, unsigned num_clients,
-                      RouterPolicy policy, unsigned walker_budget);
+                      RouterPolicy policy, unsigned walker_budget,
+                      std::string name = "router");
     ~TranslationRouter();
 
     /** Client-facing port; valid for the router's lifetime. */
     TranslationEngine &port(unsigned client);
+
+    unsigned numClients() const { return unsigned(_ports.size()); }
+
+    /** Per-client cap under Partitioned (diagnostics). */
+    unsigned perClientCap() const { return _perClientCap; }
 
     /** Requests in flight for one client (tests/diagnostics). */
     std::uint64_t inflight(unsigned client) const;
 
     /** Issue-port rejections the router itself imposed (QoS cap). */
     std::uint64_t capRejections(unsigned client) const;
+
+    /** Peak concurrently in-flight requests for one client. */
+    std::uint64_t maxInflight(unsigned client) const;
+
+    /** Per-client activity counters. */
+    const MmuCounts &clientCounts(unsigned client) const;
+
+    /** Per-client statistics group ("<name>.client<i>"). */
+    stats::Group &clientStats(unsigned client);
 
   private:
     class Port;
@@ -73,6 +92,7 @@ class TranslationRouter
     TranslationEngine &_engine;
     RouterPolicy _policy;
     unsigned _perClientCap;
+    std::string _name;
     std::vector<std::unique_ptr<Port>> _ports;
 
     static constexpr unsigned clientShift = 56;

@@ -29,12 +29,7 @@ policyName(EmbeddingPolicy policy)
 std::string
 pagingMmuName(PagingMmu mmu)
 {
-    switch (mmu) {
-      case PagingMmu::Oracle: return "Oracle";
-      case PagingMmu::BaselineIommu: return "Baseline";
-      case PagingMmu::NeuMmu: return "NeuMMU";
-    }
-    NEUMMU_PANIC("unknown paging MMU kind");
+    return mmuKindName(mmu);
 }
 
 namespace {
@@ -170,12 +165,27 @@ runDemandPaging(const EmbeddingModelSpec &spec, unsigned batch,
     const std::uint64_t samples =
         std::max<std::uint64_t>(1, batch / cfg.numNpus);
 
-    FrameAllocator host_node("host.dram", Addr(1) << 40, 32 * GiB);
-    FrameAllocator local_node("npu0.hbm", Addr(2) << 40, 64 * GiB);
-    PageTable page_table(host_node);
-    AddressSpace vas(page_table);
+    NEUMMU_ASSERT(mmu_kind != MmuKind::Custom,
+                  "demand paging takes a named MMU design point");
+
+    // One gather device; the remote peers only appear as fault
+    // targets, so the machine is a single-NPU System.
+    SystemConfig sys_cfg;
+    sys_cfg.name = "paging";
+    sys_cfg.mmuKind = mmu_kind;
+    sys_cfg.pageShift = page_shift;
+    sys_cfg.npu = cfg.npu;
+    sys_cfg.memory = cfg.hbm;
+    // The gather engine reads whole embedding rows: one run per
+    // lookup, burst-sized to cover a row.
+    sys_cfg.dmaBurstBytes = std::max<std::uint64_t>(
+        cfg.npu.dmaBurstBytes, spec.tables.front().rowBytes());
+    System system(sys_cfg);
+    PageTable &page_table = system.pageTable();
+    FrameAllocator &local_node = system.hbmNode(0);
 
     // Reserve VA for every table; nothing is mapped yet.
+    AddressSpace &vas = system.addressSpace();
     std::vector<Segment> table_segs;
     table_segs.reserve(spec.tables.size());
     for (const auto &table : spec.tables) {
@@ -203,23 +213,8 @@ runDemandPaging(const EmbeddingModelSpec &spec, unsigned batch,
                            page_shift);
     }
 
-    EventQueue eq;
-    MemoryModel hbm("npu0.mem", cfg.hbm);
     Link migrate_link("pcie", cfg.pcie);
-
-    MmuConfig mmu_cfg;
-    switch (mmu_kind) {
-      case PagingMmu::Oracle:
-        mmu_cfg = oracleMmuConfig(page_shift);
-        break;
-      case PagingMmu::BaselineIommu:
-        mmu_cfg = baselineIommuConfig(page_shift);
-        break;
-      case PagingMmu::NeuMmu:
-        mmu_cfg = neuMmuConfig(page_shift);
-        break;
-    }
-    MmuCore mmu("mmu", eq, page_table, mmu_cfg);
+    MmuCore &mmu = system.mmu();
 
     DemandPagingResult result;
 
@@ -246,11 +241,7 @@ runDemandPaging(const EmbeddingModelSpec &spec, unsigned batch,
 
     // The gather engine: one embedding-row run per lookup, issued at
     // one translation per cycle through the DMA unit.
-    DmaConfig dma_cfg;
-    dma_cfg.burstBytes = std::max<std::uint64_t>(
-        cfg.npu.dmaBurstBytes, spec.tables.front().rowBytes());
-    dma_cfg.pageShift = page_shift;
-    DmaEngine dma("gather", eq, mmu, hbm, dma_cfg);
+    DmaEngine &dma = system.dma(0);
 
     std::vector<VaRun> runs;
     runs.reserve(lookups.size());
@@ -264,7 +255,7 @@ runDemandPaging(const EmbeddingModelSpec &spec, unsigned batch,
 
     Tick gather_done = 0;
     dma.fetch(std::move(runs), [&](Tick at) { gather_done = at; });
-    eq.run();
+    system.run();
     NEUMMU_ASSERT(gather_done > 0, "gather never completed");
 
     // Dense backend is identical across design points.

@@ -28,6 +28,7 @@
 #include "mem/memory_model.hh"
 #include "mmu/mmu_core.hh"
 #include "npu/npu_config.hh"
+#include "system/system.hh"
 #include "workloads/embedding.hh"
 
 namespace neummu {
@@ -89,13 +90,11 @@ LatencyBreakdown runEmbeddingInference(const EmbeddingModelSpec &spec,
                                        EmbeddingPolicy policy,
                                        const EmbeddingSystemConfig &cfg);
 
-/** MMU design point for the demand-paging study (Fig. 16). */
-enum class PagingMmu
-{
-    Oracle,
-    BaselineIommu,
-    NeuMmu,
-};
+/**
+ * MMU design point for the demand-paging study (Fig. 16). The named
+ * MmuKind design points are meaningful here (Custom is not).
+ */
+using PagingMmu = MmuKind;
 
 std::string pagingMmuName(PagingMmu mmu);
 

@@ -1,0 +1,195 @@
+#include "system/system.hh"
+
+#include "common/logging.hh"
+
+namespace neummu {
+
+namespace {
+
+std::string
+prefixed(const std::string &system_name, const std::string &component)
+{
+    return system_name.empty() ? component
+                               : system_name + "." + component;
+}
+
+} // namespace
+
+MmuConfig
+SystemConfig::resolvedMmuConfig() const
+{
+    if (mmuKind == MmuKind::Custom)
+        return mmu;
+    return mmuConfigFor(mmuKind, pageShift);
+}
+
+System::System(SystemConfig cfg)
+    : _cfg(std::move(cfg)),
+      _hostNode(prefixed(_cfg.name, "host.dram"), Addr(1) << 40,
+                _cfg.hostDramBytes),
+      _pageTable(_hostNode),
+      _vas(_pageTable, _cfg.vaBase, _cfg.vaScatterShift)
+{
+    NEUMMU_ASSERT(_cfg.numNpus >= 1, "a system needs at least one NPU");
+
+    const MmuConfig mmu_cfg = _cfg.resolvedMmuConfig();
+    NEUMMU_ASSERT(mmu_cfg.pageShift == _cfg.pageShift,
+                  "MMU page size and system page size must agree");
+    _mmu = std::make_unique<MmuCore>(prefixed(_cfg.name, "mmu"), _eq,
+                                     _pageTable, mmu_cfg);
+    _stats.add(_mmu->stats());
+
+    if (_cfg.numNpus > 1) {
+        _router = std::make_unique<TranslationRouter>(
+            *_mmu, _cfg.numNpus, _cfg.routerPolicy, mmu_cfg.numPtws,
+            prefixed(_cfg.name, "router"));
+        for (unsigned c = 0; c < _cfg.numNpus; c++)
+            _stats.add(_router->clientStats(c));
+    }
+
+    DmaConfig dma_cfg;
+    dma_cfg.burstBytes =
+        _cfg.dmaBurstBytes ? _cfg.dmaBurstBytes : _cfg.npu.dmaBurstBytes;
+    dma_cfg.pageShift = _cfg.pageShift;
+
+    if (_cfg.sharedMemory) {
+        // One memory node for the whole SoC: every DMA engine
+        // contends for the same channels.
+        _sharedHbm = std::make_unique<FrameAllocator>(
+            prefixed(_cfg.name, "hbm"), Addr(2) << 40,
+            _cfg.npuHbmBytes);
+        _sharedMem = std::make_unique<MemoryModel>(
+            prefixed(_cfg.name, "mem"), _cfg.memory);
+        _stats.add(_sharedMem->stats());
+    }
+
+    _npus.reserve(_cfg.numNpus);
+    for (unsigned i = 0; i < _cfg.numNpus; i++) {
+        const std::string id = "npu" + std::to_string(i);
+        Npu npu;
+        if (!_cfg.sharedMemory) {
+            // Each NPU owns a private physical HBM range; npu0's
+            // base matches the historical single-NPU layout so
+            // physical addresses (and thus channel interleaving) are
+            // unchanged.
+            npu.hbm = std::make_unique<FrameAllocator>(
+                prefixed(_cfg.name, id + ".hbm"), Addr(2 + i) << 40,
+                _cfg.npuHbmBytes);
+            npu.mem = std::make_unique<MemoryModel>(
+                prefixed(_cfg.name, id + ".mem"), _cfg.memory);
+            _stats.add(npu.mem->stats());
+        }
+        npu.dma = std::make_unique<DmaEngine>(
+            prefixed(_cfg.name, id + ".dma"), _eq,
+            _router ? _router->port(i)
+                    : static_cast<TranslationEngine &>(*_mmu),
+            _cfg.sharedMemory ? *_sharedMem : *npu.mem, dma_cfg);
+        npu.pipeline = std::make_unique<TilePipeline>(_eq, *npu.dma,
+                                                      _cfg.bufferDepth);
+        _stats.add(npu.dma->stats());
+        _npus.push_back(std::move(npu));
+    }
+
+    // System-level counters live in a registry-owned group so they
+    // appear in the same dump as the components'.
+    _stats.group(prefixed(_cfg.name, "sim"));
+}
+
+System::~System() = default;
+
+Tick
+System::run(Tick limit)
+{
+    return _eq.run(limit);
+}
+
+System::Npu &
+System::npuAt(unsigned idx)
+{
+    NEUMMU_ASSERT(idx < _npus.size(), "NPU index out of range");
+    return _npus[idx];
+}
+
+FrameAllocator &
+System::hbmNode(unsigned npu)
+{
+    if (_sharedHbm) {
+        NEUMMU_ASSERT(npu < _npus.size(), "NPU index out of range");
+        return *_sharedHbm;
+    }
+    return *npuAt(npu).hbm;
+}
+
+TranslationRouter &
+System::router()
+{
+    NEUMMU_ASSERT(_router, "single-NPU system has no router");
+    return *_router;
+}
+
+TranslationEngine &
+System::translationPort(unsigned npu)
+{
+    if (_router)
+        return _router->port(npu);
+    NEUMMU_ASSERT(npu == 0, "NPU index out of range");
+    return *_mmu;
+}
+
+MemoryModel &
+System::memory(unsigned npu)
+{
+    if (_sharedMem) {
+        NEUMMU_ASSERT(npu < _npus.size(), "NPU index out of range");
+        return *_sharedMem;
+    }
+    return *npuAt(npu).mem;
+}
+
+DmaEngine &
+System::dma(unsigned npu)
+{
+    return *npuAt(npu).dma;
+}
+
+TilePipeline &
+System::pipeline(unsigned npu)
+{
+    return *npuAt(npu).pipeline;
+}
+
+void
+System::refreshSystemStats()
+{
+    _mmu->refreshStats();
+    stats::Group &sim = _stats.group(prefixed(_cfg.name, "sim"));
+    stats::Scalar &ticks = sim.scalar("simTicks");
+    ticks.reset();
+    ticks += double(_eq.now());
+    stats::Scalar &events = sim.scalar("eventsExecuted");
+    events.reset();
+    events += double(_eq.eventsExecuted());
+}
+
+void
+System::dumpStatsText(std::ostream &os)
+{
+    refreshSystemStats();
+    _stats.dumpText(os);
+}
+
+void
+System::dumpStatsJson(std::ostream &os)
+{
+    refreshSystemStats();
+    _stats.dumpJson(os);
+}
+
+bool
+System::writeStatsJsonFile(const std::string &path)
+{
+    refreshSystemStats();
+    return _stats.writeJsonFile(path);
+}
+
+} // namespace neummu

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Declarative machine composition. A SystemConfig describes the whole
+ * simulated machine -- N NPUs (tile pipeline + DMA), one translation
+ * engine (oracle / baseline IOMMU / NeuMMU / custom, optionally
+ * fanned out through a TranslationRouter when several NPUs share it,
+ * Section IV-B), per-NPU local memory, and the host-owned page
+ * table / virtual address space -- and System builds and owns that
+ * stack on one EventQueue.
+ *
+ * Every experiment driver (dense DNNs, embedding gathers, the bench
+ * grid, the examples) constructs its machine through this one layer,
+ * so a new scenario is a config, not new wiring, and every component
+ * registers its counters in one StatsRegistry with a single text/JSON
+ * dump path.
+ */
+
+#ifndef NEUMMU_SYSTEM_SYSTEM_HH
+#define NEUMMU_SYSTEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats_registry.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+#include "mem/memory_model.hh"
+#include "mmu/mmu_core.hh"
+#include "mmu/translation_router.hh"
+#include "npu/dma_engine.hh"
+#include "npu/npu_config.hh"
+#include "npu/tile_pipeline.hh"
+#include "sim/event_queue.hh"
+#include "vm/address_space.hh"
+#include "vm/frame_allocator.hh"
+#include "vm/page_table.hh"
+
+namespace neummu {
+
+/**
+ * Full machine description. Defaults reproduce the paper's baseline
+ * single-NPU system (Table I) with a baseline IOMMU.
+ */
+struct SystemConfig
+{
+    /** Stats prefix for every component this system builds. */
+    std::string name = "sys";
+
+    // --- NPUs ------------------------------------------------------
+    /** NPU count; > 1 shares the MMU through a TranslationRouter. */
+    unsigned numNpus = 1;
+    /** Core parameters, identical across NPUs (Table I). */
+    NpuConfig npu{};
+    /** Tile-buffer depth (2 = double buffering, Fig. 3). */
+    unsigned bufferDepth = 2;
+    /** DMA burst override in bytes; 0 uses npu.dmaBurstBytes. */
+    std::uint64_t dmaBurstBytes = 0;
+
+    // --- Translation -----------------------------------------------
+    /**
+     * Named design point. For any kind other than Custom the canned
+     * config (at this system's pageShift) is instantiated and the
+     * `mmu` field below is IGNORED -- tweak individual MMU knobs by
+     * leaving mmuKind at Custom and editing `mmu` directly.
+     */
+    MmuKind mmuKind = MmuKind::Custom;
+    /** Explicit engine config; authoritative only under Custom. */
+    MmuConfig mmu = baselineIommuConfig();
+    /** Walker arbitration across NPUs (numNpus > 1 only). */
+    RouterPolicy routerPolicy = RouterPolicy::Shared;
+
+    // --- Memory system ---------------------------------------------
+    /** Per-NPU local memory (HBM) timing. */
+    MemoryConfig memory{};
+    /**
+     * SoC topology: all NPUs contend for one memory node (shared
+     * system DRAM) instead of each owning a private HBM stack. Only
+     * meaningful when numNpus > 1.
+     */
+    bool sharedMemory = false;
+    /** Host DRAM capacity backing the page tables. */
+    std::uint64_t hostDramBytes = 32 * GiB;
+    /** Per-NPU HBM capacity backing the tensors. */
+    std::uint64_t npuHbmBytes = 64 * GiB;
+
+    // --- Page table / VA layout ------------------------------------
+    /** Page size of the translation stream (12 or 21). */
+    unsigned pageShift = smallPageShift;
+    /** First virtual address handed out by the AddressSpace. */
+    Addr vaBase = Addr(0x100) << 30;
+    /** VA-layout scatter shift (see AddressSpace; 0 = packed). */
+    unsigned vaScatterShift = 0;
+
+    /**
+     * The MmuConfig this system will instantiate: the canned config
+     * for a named kind (at this system's pageShift), or `mmu` as-is
+     * for Custom.
+     */
+    MmuConfig resolvedMmuConfig() const;
+};
+
+/**
+ * Builds and owns the machine a SystemConfig describes. Construction
+ * order (host node, page table, MMU, router, then per-NPU memory /
+ * DMA / pipeline) is fixed, so identical configs produce identical
+ * simulations. Handles stay valid for the System's lifetime.
+ */
+class System
+{
+  public:
+    explicit System(SystemConfig cfg);
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+    ~System();
+
+    const SystemConfig &config() const { return _cfg; }
+    unsigned numNpus() const { return unsigned(_npus.size()); }
+
+    // --- Simulation ------------------------------------------------
+    EventQueue &eventQueue() { return _eq; }
+    Tick now() const { return _eq.now(); }
+    /** Drain the event queue (up to @p limit); returns final time. */
+    Tick run(Tick limit = maxTick);
+
+    // --- Virtual memory --------------------------------------------
+    FrameAllocator &hostNode() { return _hostNode; }
+    /** NPU @p npu's memory node (the one shared node under
+     *  sharedMemory). */
+    FrameAllocator &hbmNode(unsigned npu = 0);
+    PageTable &pageTable() { return _pageTable; }
+    AddressSpace &addressSpace() { return _vas; }
+
+    // --- Translation -----------------------------------------------
+    MmuCore &mmu() { return *_mmu; }
+    bool hasRouter() const { return _router != nullptr; }
+    /** @pre hasRouter() */
+    TranslationRouter &router();
+    /** NPU @p npu's translation port: a router port, or the MMU. */
+    TranslationEngine &translationPort(unsigned npu = 0);
+
+    // --- Per-NPU pipeline ------------------------------------------
+    MemoryModel &memory(unsigned npu = 0);
+    DmaEngine &dma(unsigned npu = 0);
+    TilePipeline &pipeline(unsigned npu = 0);
+
+    // --- Statistics ------------------------------------------------
+    /** Every component's counters, registered at construction. */
+    stats::StatsRegistry &statsRegistry() { return _stats; }
+    /** Refresh system-level scalars (simTicks, events) and dump. */
+    void dumpStatsText(std::ostream &os);
+    void dumpStatsJson(std::ostream &os);
+    /** Refresh and write the JSON dump to @p path. */
+    bool writeStatsJsonFile(const std::string &path);
+
+  private:
+    struct Npu
+    {
+        std::unique_ptr<FrameAllocator> hbm;
+        std::unique_ptr<MemoryModel> mem;
+        std::unique_ptr<DmaEngine> dma;
+        std::unique_ptr<TilePipeline> pipeline;
+    };
+
+    Npu &npuAt(unsigned idx);
+    void refreshSystemStats();
+
+    SystemConfig _cfg;
+    EventQueue _eq;
+    FrameAllocator _hostNode;
+    PageTable _pageTable;
+    AddressSpace _vas;
+    std::unique_ptr<MmuCore> _mmu;
+    std::unique_ptr<TranslationRouter> _router;
+    std::unique_ptr<FrameAllocator> _sharedHbm;
+    std::unique_ptr<MemoryModel> _sharedMem;
+    std::vector<Npu> _npus;
+    stats::StatsRegistry _stats;
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_SYSTEM_SYSTEM_HH

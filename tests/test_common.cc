@@ -8,9 +8,12 @@
 #include <set>
 #include <sstream>
 
+#include <algorithm>
+
 #include "common/arg_parser.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
+#include "common/stats_registry.hh"
 #include "common/units.hh"
 
 using namespace neummu;
@@ -98,6 +101,80 @@ TEST(Stats, GroupDumpContainsPrefixedNames)
     const std::string text = os.str();
     EXPECT_NE(text.find("mmu.walks"), std::string::npos);
     EXPECT_NE(text.find("mmu.latency.mean"), std::string::npos);
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_EQ(stats::mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stats::mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(stats::geomean({2.0, 8.0}), 4.0);
+    // Zero/negative inputs have no geometric mean: they are skipped,
+    // never folded into a NaN/-inf.
+    EXPECT_DOUBLE_EQ(stats::geomean({2.0, 8.0, 0.0, -3.0}), 4.0);
+    EXPECT_EQ(stats::geomean({}), 0.0);
+    EXPECT_EQ(stats::geomean({0.0, -1.0}), 0.0);
+}
+
+TEST(StatsRegistry, RegistersExternalAndOwnedGroups)
+{
+    stats::Group external("mmu");
+    external.scalar("walks") += 3;
+
+    stats::StatsRegistry reg;
+    reg.add(external);
+    reg.group("bench").scalar("normPerf").set(0.5);
+    // group() returns the same owned group on repeat lookup.
+    EXPECT_EQ(&reg.group("bench"), &reg.group("bench"));
+
+    EXPECT_EQ(reg.find("mmu"), &external);
+    EXPECT_NE(reg.find("bench"), nullptr);
+    EXPECT_EQ(reg.find("missing"), nullptr);
+    EXPECT_EQ(reg.groups().size(), 2u);
+
+    std::ostringstream text;
+    reg.dumpText(text);
+    EXPECT_NE(text.str().find("mmu.walks"), std::string::npos);
+    EXPECT_NE(text.str().find("bench.normPerf"), std::string::npos);
+}
+
+TEST(StatsRegistry, JsonDumpIsWellFormed)
+{
+    stats::StatsRegistry reg;
+    stats::Group &g = reg.group("grp");
+    g.scalar("count").set(42);
+    g.scalar("ratio").set(0.25);
+    g.average("lat").sample(10.0);
+    g.average("lat").sample(20.0);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"grp\""), std::string::npos);
+    // Integral scalars serialize without a fraction.
+    EXPECT_NE(json.find("\"count\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"ratio\": 0.25"), std::string::npos);
+    EXPECT_NE(json.find("\"lat\": {\"mean\": 15"), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(StatsRegistry, JsonEscapesSpecialCharacters)
+{
+    EXPECT_EQ(stats::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(stats::jsonEscape("plain"), "plain");
+}
+
+TEST(StatsRegistry, ResetClearsEveryGroup)
+{
+    stats::Group external("e");
+    external.scalar("x") += 5;
+    stats::StatsRegistry reg;
+    reg.add(external);
+    reg.group("o").scalar("y") += 7;
+    reg.reset();
+    EXPECT_EQ(external.scalar("x").value(), 0.0);
+    EXPECT_EQ(reg.group("o").scalar("y").value(), 0.0);
 }
 
 TEST(Rng, DeterministicForSameSeed)

@@ -21,7 +21,7 @@ smallConfig(MmuConfig mmu)
     DenseExperimentConfig cfg;
     cfg.workload = WorkloadId::CNN1;
     cfg.batch = 1;
-    cfg.mmu = mmu;
+    cfg.system.mmu = mmu;
     cfg.layerOverride = makeWorkload(WorkloadId::CNN1, 1).layers;
     cfg.layerOverride.resize(2); // conv1 + conv2 only
     return cfg;
@@ -49,7 +49,7 @@ TEST(DenseIntegration, BaselineIommuLosesMostPerformance)
     DenseExperimentConfig cfg;
     cfg.workload = WorkloadId::RNN2;
     cfg.batch = 1;
-    cfg.mmu = baselineIommuConfig();
+    cfg.system.mmu = baselineIommuConfig();
     const double norm = normalizedPerformance(cfg);
     EXPECT_LT(norm, 0.25);
 }
@@ -62,7 +62,7 @@ TEST(DenseIntegration, NeuMmuIsWithinAFewPercentOfOracle)
         DenseExperimentConfig cfg;
         cfg.workload = id;
         cfg.batch = 1;
-        cfg.mmu = neuMmuConfig();
+        cfg.system.mmu = neuMmuConfig();
         EXPECT_GT(normalizedPerformance(cfg), 0.95)
             << workloadName(id);
     }
@@ -74,7 +74,7 @@ TEST(DenseIntegration, MorePtwsNeverHurt)
     Tick prev = maxTick;
     for (const unsigned ptws : {8u, 32u, 128u}) {
         DenseExperimentConfig cfg = smallConfig(neuMmuConfig());
-        cfg.mmu.numPtws = ptws;
+        cfg.system.mmu.numPtws = ptws;
         const Tick cycles = runDenseExperiment(cfg).totalCycles;
         EXPECT_LE(cycles, prev) << ptws;
         prev = cycles;
@@ -87,8 +87,8 @@ TEST(DenseIntegration, MorePrmbSlotsNeverHurt)
     Tick prev = maxTick;
     for (const unsigned slots : {1u, 4u, 16u, 32u}) {
         DenseExperimentConfig cfg = smallConfig(neuMmuConfig());
-        cfg.mmu.numPtws = 8;
-        cfg.mmu.prmbSlots = slots;
+        cfg.system.mmu.numPtws = 8;
+        cfg.system.mmu.prmbSlots = slots;
         const Tick cycles = runDenseExperiment(cfg).totalCycles;
         EXPECT_LE(cycles, prev) << slots;
         prev = cycles;
@@ -99,12 +99,12 @@ TEST(DenseIntegration, PrmbFiltersWalks)
 {
     // PRMB merges same-page bursts: walks drop, merges appear.
     DenseExperimentConfig no_prmb = smallConfig(baselineIommuConfig());
-    no_prmb.mmu.numPtws = 128;
+    no_prmb.system.mmu.numPtws = 128;
     const DenseExperimentResult without =
         runDenseExperiment(no_prmb);
 
     DenseExperimentConfig with_prmb = no_prmb;
-    with_prmb.mmu.prmbSlots = 32;
+    with_prmb.system.mmu.prmbSlots = 32;
     const DenseExperimentResult with = runDenseExperiment(with_prmb);
 
     EXPECT_LT(with.mmu.walks, without.mmu.walks);
@@ -116,7 +116,7 @@ TEST(DenseIntegration, PrmbFiltersWalks)
 TEST(DenseIntegration, TpRegCutsWalkMemoryAccesses)
 {
     DenseExperimentConfig no_tpreg = smallConfig(neuMmuConfig());
-    no_tpreg.mmu.pathCache = MmuCacheKind::None;
+    no_tpreg.system.mmu.pathCache = MmuCacheKind::None;
     const DenseExperimentResult without = runDenseExperiment(no_tpreg);
 
     const DenseExperimentResult with =
@@ -135,7 +135,7 @@ TEST(DenseIntegration, TpRegUpperLevelsHitAlmostAlways)
     DenseExperimentConfig cfg;
     cfg.workload = WorkloadId::CNN1;
     cfg.batch = 1;
-    cfg.mmu = neuMmuConfig();
+    cfg.system.mmu = neuMmuConfig();
     const DenseExperimentResult r = runDenseExperiment(cfg);
     ASSERT_GT(r.tpreg.consults, 0u);
     const double l4 = double(r.tpreg.hits[0]) / double(r.tpreg.consults);
@@ -166,7 +166,7 @@ TEST(DenseIntegration, LargePagesShrinkTranslationCountForDenseLayers)
     DenseExperimentConfig small = smallConfig(baselineIommuConfig());
     DenseExperimentConfig large =
         smallConfig(baselineIommuConfig(largePageShift));
-    large.pageShift = largePageShift;
+    large.system.pageShift = largePageShift;
     const DenseExperimentResult rs = runDenseExperiment(small);
     const DenseExperimentResult rl = runDenseExperiment(large);
     // Fewer distinct pages -> far fewer walks (Section VI-A).
@@ -182,10 +182,10 @@ TEST(DenseIntegration, SpatialNpuAlsoBenefitsFromNeuMmu)
     DenseExperimentConfig cfg;
     cfg.workload = WorkloadId::RNN2;
     cfg.batch = 1;
-    cfg.npu.compute = ComputeKind::Spatial;
-    cfg.mmu = neuMmuConfig();
+    cfg.system.npu.compute = ComputeKind::Spatial;
+    cfg.system.mmu = neuMmuConfig();
     const double neummu = normalizedPerformance(cfg);
-    cfg.mmu = baselineIommuConfig();
+    cfg.system.mmu = baselineIommuConfig();
     const double iommu = normalizedPerformance(cfg);
     EXPECT_GT(neummu, 0.9);
     EXPECT_LT(iommu, 0.6);
@@ -226,6 +226,6 @@ TEST(DenseIntegration, SramCostMatchesSectionFourE)
 TEST(DenseIntegrationDeath, MismatchedPageShiftIsCaught)
 {
     DenseExperimentConfig cfg = smallConfig(baselineIommuConfig());
-    cfg.pageShift = largePageShift; // mmu still expects 4 KB
+    cfg.system.pageShift = largePageShift; // mmu still expects 4 KB
     EXPECT_DEATH(runDenseExperiment(cfg), "page size");
 }
