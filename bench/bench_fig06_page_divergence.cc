@@ -27,7 +27,7 @@ main()
     std::printf("%-12s %10s %10s %10s\n", "workload", "max", "avg",
                 "tiles");
     for (const bench::GridPoint &gp : bench::denseGrid()) {
-        const Workload wl = makeWorkload(gp.workload, gp.batch);
+        const DnnModel wl = makeWorkload(gp.workload, gp.batch);
         std::uint64_t max_div = 0, tiles = 0;
         double sum_div = 0.0;
         for (const LayerSpec &layer : wl.layers) {

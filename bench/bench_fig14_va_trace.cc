@@ -4,18 +4,57 @@
  * consecutive tiles are requested by the DMA unit (AlexNet). Shows
  * the two VA bands (IA arena low, W arena high) and the streaming,
  * non-interleaved access within each tile.
+ *
+ * With --record=<path.jsonl> the bench instead simulates a workload
+ * (--workload=<factory spec>, default dense:model=CNN1) on the
+ * baseline NeuMMU machine and writes its full translation-attempt
+ * stream as a replayable JSONL trace (see TraceWorkload).
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
 #include "workloads/tiler.hh"
+#include "workloads/trace_workload.hh"
 
 using namespace neummu;
 
-int
-main()
+static int
+recordTrace(const ArgParser &args)
 {
+    const std::string path = args.get("record", "");
+    const std::string spec =
+        args.get("workload", "dense:model=CNN1,batch=1");
+    bench::printHeader("Figure 14 (record mode)",
+                       "JSONL translation trace of '" + spec + "'");
+
+    SystemConfig cfg;
+    cfg.mmuKind = MmuKind::NeuMmu;
+    System system(cfg);
+    TraceRecorder recorder;
+    recorder.attach(system, 0);
+
+    Scheduler scheduler(system);
+    scheduler.add(makeWorkloadFromSpec(spec), 0);
+    const SchedulerResult result = scheduler.run();
+
+    if (!recorder.write(path))
+        return 1;
+    std::printf("ran '%s' for %llu cycles; wrote %zu attempts to %s\n"
+                "replay with: trace:path=%s\n",
+                spec.c_str(),
+                (unsigned long long)result.totalCycles,
+                recorder.entries().size(), path.c_str(), path.c_str());
+    return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    const ArgParser args(argc, argv);
+    if (args.has("record"))
+        return recordTrace(args);
+
     bench::printHeader("Figure 14",
                        "Virtual addresses accessed across consecutive "
                        "tiles (AlexNet conv2, b01)");
@@ -25,7 +64,7 @@ main()
     const Addr ia_base = Addr(0x100) << 30;
     const Addr w_base = ia_base + (16ull << 20);
 
-    const Workload wl = makeWorkload(WorkloadId::CNN1, 1);
+    const DnnModel wl = makeWorkload(WorkloadId::CNN1, 1);
     // conv2 exercises both arenas with multiple tiles.
     const LayerSpec &layer = wl.layers[1];
     const LayerTiling tiling = tiler.tileLayer(layer, ia_base, w_base);

@@ -1,12 +1,43 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build everything with warnings as
-# errors, then run the full test suite.
+# errors, verify every bench/example target actually built, then run
+# the full test suite.
+#
+# Env:
+#   BUILD_DIR  build tree (default: build)
+#   BUILD_TYPE CMake build type (default: RelWithDebInfo)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
+BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}"
 
-cmake -B "$BUILD_DIR" -S . -DNEUMMU_WERROR=ON
+cmake -B "$BUILD_DIR" -S . -DNEUMMU_WERROR=ON \
+      -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Every bench/bench_*.cc and examples/*.cc must have produced an
+# executable; a silently dropped target (bad glob, renamed file,
+# dependency-gated bench) otherwise goes unnoticed until someone needs
+# the figure. bench_sim_throughput is optional: it needs
+# google-benchmark, which not every CI image carries.
+missing=0
+for src in bench/bench_*.cc examples/*.cc; do
+  target="$(basename "$src" .cc)"
+  if [[ ! -x "$BUILD_DIR/$target" ]]; then
+    if [[ "$target" == "bench_sim_throughput" ]]; then
+      echo "note: optional target $target not built" \
+           "(google-benchmark missing)"
+      continue
+    fi
+    echo "error: target $target (from $src) was not built" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" -ne 0 ]]; then
+  echo "error: missing bench/example targets; see above" >&2
+  exit 1
+fi
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -53,6 +53,24 @@ ArgParser::getDouble(const std::string &key, double default_value) const
     return std::strtod(it->second.c_str(), nullptr);
 }
 
+std::vector<std::string>
+ArgParser::getList(const std::string &key,
+                   const std::string &default_value, char sep) const
+{
+    const std::string joined = get(key, default_value);
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= joined.size()) {
+        std::size_t at = joined.find(sep, pos);
+        if (at == std::string::npos)
+            at = joined.size();
+        if (at > pos)
+            out.push_back(joined.substr(pos, at - pos));
+        pos = at + 1;
+    }
+    return out;
+}
+
 bool
 ArgParser::getBool(const std::string &key, bool default_value) const
 {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace neummu {
 
@@ -26,6 +27,13 @@ class ArgParser
                         std::int64_t default_value) const;
     double getDouble(const std::string &key, double default_value) const;
     bool getBool(const std::string &key, bool default_value) const;
+    /**
+     * The option's value split on @p sep, empty pieces dropped
+     * (e.g. --workloads=a;b;c). @p default_value when absent.
+     */
+    std::vector<std::string> getList(const std::string &key,
+                                     const std::string &default_value,
+                                     char sep = ';') const;
 
   private:
     std::map<std::string, std::string> _values;

@@ -13,6 +13,29 @@ rotl(std::uint64_t x, int k)
 } // namespace
 
 std::uint64_t
+deriveSeed(std::uint64_t root, std::uint64_t stream)
+{
+    // Two rounds of splitmix64 over (root, stream): mixing the stream
+    // id through the same finalizer decorrelates children even for
+    // adjacent roots/streams.
+    std::uint64_t x = root ^ (0x9e3779b97f4a7c15ull + stream);
+    Rng::splitMix(x);
+    x ^= stream * 0xbf58476d1ce4e5b9ull;
+    return Rng::splitMix(x);
+}
+
+std::uint64_t
+hashString(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
 Rng::splitMix(std::uint64_t &x)
 {
     std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);

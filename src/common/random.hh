@@ -9,8 +9,22 @@
 #define NEUMMU_COMMON_RANDOM_HH
 
 #include <cstdint>
+#include <string>
 
 namespace neummu {
+
+/**
+ * Derive an independent child seed from @p root for stream
+ * @p stream. Children of the same root with distinct stream ids are
+ * statistically independent (splitmix64 over the pair), so every
+ * workload of a multi-tenant run can own its own Rng stream derived
+ * from the single SystemConfig seed -- reproducible regardless of
+ * scheduling or completion order.
+ */
+std::uint64_t deriveSeed(std::uint64_t root, std::uint64_t stream);
+
+/** FNV-1a 64-bit string hash, for name-keyed Rng streams. */
+std::uint64_t hashString(const std::string &s);
 
 /** Small, fast, seedable PRNG (xoshiro256**). */
 class Rng
@@ -27,10 +41,11 @@ class Rng
     /** Uniform double in [0, 1). */
     double uniform();
 
+    /** splitmix64 step: advances @p x and returns the mixed value. */
+    static std::uint64_t splitMix(std::uint64_t &x);
+
   private:
     std::uint64_t s[4];
-
-    static std::uint64_t splitMix(std::uint64_t &x);
 };
 
 } // namespace neummu

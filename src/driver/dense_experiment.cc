@@ -1,70 +1,32 @@
 #include "driver/dense_experiment.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
-#include "common/units.hh"
-#include "workloads/tiler.hh"
+#include "system/scheduler.hh"
 
 namespace neummu {
 
 DenseExperimentResult
 runDenseExperiment(const DenseExperimentConfig &cfg, System &system)
 {
-    Workload wl = makeWorkload(cfg.workload, cfg.batch);
-    if (!cfg.layerOverride.empty())
-        wl.layers = cfg.layerOverride;
+    // Thin shim over the Workload API: the dense traffic source does
+    // all the work; this driver only assembles the legacy result.
+    DenseDnnWorkloadConfig wl_cfg;
+    wl_cfg.workload = cfg.workload;
+    wl_cfg.batch = cfg.batch;
+    wl_cfg.layerOverride = cfg.layerOverride;
+    wl_cfg.translationHook = cfg.translationHook;
 
-    const unsigned page_shift = cfg.system.pageShift;
+    Scheduler scheduler(system);
+    Workload &wl = scheduler.add(
+        std::make_unique<DenseDnnWorkload>(std::move(wl_cfg)), 0);
+    scheduler.run();
+    NEUMMU_ASSERT(wl.done(), "dense workload never completed");
 
-    // VA layout: every layer owns fresh IA and W segments, as a
-    // framework allocating all tensors up front would lay them out.
-    // Weights are never re-addressed across layers, so the only
-    // translation reuse is the intra-layer kind the paper studies
-    // (Section IV-C); Fig. 14's VA bands are these segments.
-    AddressSpace &vas = system.addressSpace();
-    FrameAllocator &hbm = system.hbmNode(0);
-    std::vector<std::pair<Segment, Segment>> layer_segs;
-    layer_segs.reserve(wl.layers.size());
-    for (const LayerSpec &layer : wl.layers) {
-        const std::uint64_t ia_bytes = std::max<std::uint64_t>(
-            layer.iaBytes(cfg.system.npu.elemBytes),
-            pageSize(page_shift));
-        const std::uint64_t w_bytes = std::max<std::uint64_t>(
-            layer.wBytes(cfg.system.npu.elemBytes),
-            pageSize(page_shift));
-        layer_segs.emplace_back(
-            vas.allocateBacked(layer.name + ".ia", ia_bytes, hbm,
-                               page_shift),
-            vas.allocateBacked(layer.name + ".w", w_bytes, hbm,
-                               page_shift));
-    }
-
-    DmaEngine &dma = system.dma(0);
-    if (cfg.translationHook)
-        dma.setIssueHook(cfg.translationHook);
-    TilePipeline &pipeline = system.pipeline(0);
-
-    Tiler tiler(cfg.system.npu);
     DenseExperimentResult result;
-
-    for (std::size_t li = 0; li < wl.layers.size(); li++) {
-        const LayerSpec &layer = wl.layers[li];
-        const LayerTiling tiling =
-            tiler.tileLayer(layer, layer_segs[li].first.base,
-                            layer_segs[li].second.base);
-        const std::uint64_t trans_before = dma.translationsIssued();
-        const PipelineResult pr = pipeline.run(tiling.tiles);
-
-        LayerResult lr;
-        lr.name = layer.name;
-        lr.cycles = pr.totalCycles;
-        lr.tiles = pr.tiles;
-        lr.translations = dma.translationsIssued() - trans_before;
-        result.layers.push_back(std::move(lr));
-    }
+    result.layers = static_cast<DenseDnnWorkload &>(wl).layers();
 
     MmuCore &mmu = system.mmu();
+    DmaEngine &dma = system.dma(0);
     result.totalCycles = system.now();
     result.mmu = mmu.counts();
     result.tpreg = mmu.tpregStats();

@@ -1,9 +1,10 @@
 /**
  * @file
  * One-call runner for the dense-DNN experiments (Sections III-IV,
- * VI-A/B/C): composes the machine through the System layer, tiles the
- * workload, runs NPU 0's tile pipeline layer by layer, and reports
- * cycles, translation activity, and energy.
+ * VI-A/B/C). Since the Workload API redesign this is a thin
+ * compatibility shim: it places a DenseDnnWorkload on NPU 0 through
+ * the Scheduler and assembles the legacy result struct. New code
+ * should use DenseDnnWorkload + Scheduler directly.
  */
 
 #ifndef NEUMMU_DRIVER_DENSE_EXPERIMENT_HH
@@ -17,6 +18,7 @@
 #include "common/types.hh"
 #include "mmu/energy_model.hh"
 #include "system/system.hh"
+#include "workloads/dense_dnn_workload.hh"
 #include "workloads/models.hh"
 
 namespace neummu {
@@ -39,14 +41,9 @@ struct DenseExperimentConfig
     std::function<void(Tick, Addr)> translationHook;
 };
 
-/** Per-layer timing record. */
-struct LayerResult
-{
-    std::string name;
-    Tick cycles = 0;
-    std::uint64_t tiles = 0;
-    std::uint64_t translations = 0;
-};
+// LayerResult now lives with the traffic source
+// (workloads/dense_dnn_workload.hh) and is re-exported here for the
+// existing benches.
 
 /** Outcome of one dense run. */
 struct DenseExperimentResult

@@ -82,7 +82,10 @@ DmaEngine::tryIssue()
     NEUMMU_ASSERT(have, "issue loop ran past the tile");
 
     const std::uint64_t id = _nextId++;
-    if (!_mmu.translate(va, id)) {
+    const bool accepted = _mmu.translate(va, id);
+    if (_traceHook)
+        _traceHook(_eq.now(), va, len, accepted);
+    if (!accepted) {
         // Translation bandwidth exhausted: the port blocks until the
         // MMU signals freed capacity (Section IV-A).
         if (!_blocked) {

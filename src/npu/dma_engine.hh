@@ -44,6 +44,13 @@ class DmaEngine
     using DoneCallback = std::function<void(Tick)>;
     /** Observation hook: a translation was issued at @p tick for @p va. */
     using IssueHook = std::function<void(Tick, Addr)>;
+    /**
+     * Trace hook: every translation attempt, including ones the MMU
+     * rejected (@p accepted false). Faithful enough to replay the
+     * whole translation stream (see TraceRecorder / TraceWorkload).
+     */
+    using TraceHook =
+        std::function<void(Tick, Addr, std::uint64_t, bool)>;
 
     DmaEngine(std::string name, EventQueue &eq, TranslationEngine &mmu,
               MemoryModel &mem, DmaConfig cfg);
@@ -59,6 +66,9 @@ class DmaEngine
 
     /** Install an optional per-translation observation hook (Fig. 7). */
     void setIssueHook(IssueHook hook) { _hook = std::move(hook); }
+
+    /** Install an optional per-attempt trace hook (trace recording). */
+    void setTraceHook(TraceHook hook) { _traceHook = std::move(hook); }
 
     std::uint64_t translationsIssued() const { return _translations; }
     std::uint64_t bytesFetched() const { return _bytes; }
@@ -95,6 +105,7 @@ class DmaEngine
     std::uint64_t _nextId = 0;
 
     IssueHook _hook;
+    TraceHook _traceHook;
     std::uint64_t _translations = 0;
     std::uint64_t _bytes = 0;
     std::uint64_t _stallCycles = 0;

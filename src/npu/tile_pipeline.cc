@@ -19,7 +19,35 @@ TilePipeline::run(const std::vector<TileWork> &tiles)
     if (tiles.empty())
         return result;
 
+    bool finished = false;
+    start(tiles, [&](const PipelineResult &r) {
+        result = r;
+        finished = true;
+    });
+    _eq.run();
+    NEUMMU_ASSERT(finished,
+                  "pipeline drained before finishing all tiles");
+    return result;
+}
+
+void
+TilePipeline::start(const std::vector<TileWork> &tiles,
+                    DoneCallback done)
+{
+    NEUMMU_ASSERT(!_tiles, "pipeline already running a tile sequence");
+    if (tiles.empty()) {
+        // Degenerate empty sequence: complete without traffic.
+        PipelineResult result;
+        result.finishTick = _eq.now();
+        _eq.scheduleIn(0, [done = std::move(done), result] {
+            done(result);
+        });
+        return;
+    }
+
     _tiles = &tiles;
+    _onDone = std::move(done);
+    _startTick = _eq.now();
     _nextFetch = 0;
     _computesDone = 0;
     _fetchReady.assign(tiles.size(), false);
@@ -28,18 +56,7 @@ TilePipeline::run(const std::vector<TileWork> &tiles)
     _memBusy = 0;
     _computeBusy = 0;
 
-    const Tick start = _eq.now();
     startNextFetchIfReady();
-    _eq.run();
-    NEUMMU_ASSERT(_computesDone == tiles.size(),
-                  "pipeline drained before finishing all tiles");
-
-    result.finishTick = _lastComputeDone;
-    result.totalCycles = _lastComputeDone - start;
-    result.memPhaseCycles = _memBusy;
-    result.computePhaseCycles = _computeBusy;
-    _tiles = nullptr;
-    return result;
 }
 
 void
@@ -99,6 +116,20 @@ TilePipeline::onComputeDone(std::size_t idx)
     if (idx + 1 < _tiles->size())
         tryStartCompute(idx + 1);
     startNextFetchIfReady();
+
+    if (_computesDone == _tiles->size()) {
+        PipelineResult result;
+        result.tiles = _tiles->size();
+        result.finishTick = _lastComputeDone;
+        result.totalCycles = _lastComputeDone - _startTick;
+        result.memPhaseCycles = _memBusy;
+        result.computePhaseCycles = _computeBusy;
+        _tiles = nullptr;
+        auto done = std::move(_onDone);
+        _onDone = nullptr;
+        if (done)
+            done(result);
+    }
 }
 
 } // namespace neummu

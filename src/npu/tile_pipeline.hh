@@ -37,6 +37,9 @@ struct PipelineResult
 class TilePipeline
 {
   public:
+    /** Completion of one started tile sequence. */
+    using DoneCallback = std::function<void(const PipelineResult &)>;
+
     /**
      * @param buffer_depth Number of tile buffers: 2 models the
      *        paper's double buffering; 1 serializes memory and
@@ -52,6 +55,18 @@ class TilePipeline
      */
     PipelineResult run(const std::vector<TileWork> &tiles);
 
+    /**
+     * Event-driven variant for concurrent (multi-tenant) runs: kick
+     * off @p tiles and return immediately; @p done fires at the tick
+     * the last tile's compute phase finishes. The caller drains the
+     * event queue (and keeps @p tiles alive until @p done fires).
+     * @pre No sequence in flight on this pipeline.
+     */
+    void start(const std::vector<TileWork> &tiles, DoneCallback done);
+
+    /** A started sequence has not completed yet. */
+    bool busy() const { return _tiles != nullptr; }
+
   private:
     void startNextFetchIfReady();
     void onFetchDone(std::size_t idx, Tick at);
@@ -63,6 +78,8 @@ class TilePipeline
     unsigned _bufferDepth;
 
     const std::vector<TileWork> *_tiles = nullptr;
+    DoneCallback _onDone;
+    Tick _startTick = 0;
     std::size_t _nextFetch = 0;
     std::size_t _computesDone = 0;
     std::vector<bool> _fetchReady;

@@ -1,30 +1,13 @@
 #include "system/embedding_system.hh"
 
 #include <algorithm>
-#include <unordered_map>
-#include <vector>
+#include <memory>
+#include <utility>
 
 #include "common/logging.hh"
-#include "common/units.hh"
-#include "npu/compute_model.hh"
-#include "npu/dma_engine.hh"
-#include "sim/event_queue.hh"
-#include "vm/address_space.hh"
-#include "vm/frame_allocator.hh"
-#include "vm/page_table.hh"
+#include "system/scheduler.hh"
 
 namespace neummu {
-
-std::string
-policyName(EmbeddingPolicy policy)
-{
-    switch (policy) {
-      case EmbeddingPolicy::HostStagedCopy: return "Baseline";
-      case EmbeddingPolicy::NumaSlow: return "NUMA(slow)";
-      case EmbeddingPolicy::NumaFast: return "NUMA(fast)";
-    }
-    NEUMMU_PANIC("unknown embedding policy");
-}
 
 std::string
 pagingMmuName(PagingMmu mmu)
@@ -32,126 +15,12 @@ pagingMmuName(PagingMmu mmu)
     return mmuKindName(mmu);
 }
 
-namespace {
-
-/** Dense-backend latency shared by every policy (Fig. 15 right bars). */
-LatencyBreakdown
-denseBackend(const EmbeddingModelSpec &spec, std::uint64_t samples,
-             const EmbeddingSystemConfig &cfg)
-{
-    LatencyBreakdown lat;
-    unsigned kernels = 0;
-    auto add_mlp = [&](const std::vector<GemmDims> &mlp) {
-        for (const GemmDims &layer : mlp) {
-            lat.gemm += tileComputeCycles(cfg.npu, layer.m * samples,
-                                          layer.k, layer.n);
-            kernels++;
-        }
-    };
-    add_mlp(spec.bottomMlp);
-    add_mlp(spec.topMlp);
-
-    // Feature interaction / reductions are memory-bound element-wise
-    // work over the gathered vectors.
-    const std::uint64_t red_bytes =
-        spec.interactionBytesPerSample * samples;
-    lat.reduction =
-        Tick(double(red_bytes) / cfg.hbm.bytesPerCycle) +
-        cfg.hbm.accessLatency;
-    kernels += 2; // interaction + concat
-
-    lat.other = Tick(kernels) * cfg.kernelLaunchOverhead + 2000;
-    return lat;
-}
-
-} // namespace
-
 LatencyBreakdown
 runEmbeddingInference(const EmbeddingModelSpec &spec, unsigned batch,
                       EmbeddingPolicy policy,
                       const EmbeddingSystemConfig &cfg)
 {
-    NEUMMU_ASSERT(cfg.numNpus >= 2, "NUMA study needs >= 2 NPUs");
-    // Data-parallel MLPs: this device owns batch/N samples (Fig. 5).
-    const std::uint64_t samples =
-        std::max<std::uint64_t>(1, batch / cfg.numNpus);
-
-    LatencyBreakdown lat = denseBackend(spec, samples, cfg);
-
-    // Embedding gathers for this device's samples: tables are
-    // round-robin partitioned, so (N-1)/N of the bytes are remote.
-    const std::uint64_t lookups = samples * spec.lookupsPerSample();
-    const std::uint64_t bytes = samples * spec.embeddingBytesPerSample();
-    const std::uint64_t remote_bytes =
-        bytes * (cfg.numNpus - 1) / cfg.numNpus;
-    const std::uint64_t local_bytes = bytes - remote_bytes;
-    const std::uint64_t remote_lookups =
-        lookups * (cfg.numNpus - 1) / cfg.numNpus;
-    const double avg_row =
-        lookups ? double(bytes) / double(lookups) : 0.0;
-
-    // Local gathers always go to HBM.
-    const Tick local_gather =
-        Tick(double(local_bytes) / cfg.hbm.bytesPerCycle) +
-        cfg.hbm.accessLatency;
-
-    Tick remote = 0;
-    switch (policy) {
-      case EmbeddingPolicy::HostStagedCopy: {
-        // Each remote peer's shard: NPUs -> CPU pinned buffer (hop 1,
-        // peers proceed in parallel on their own links), CPU gather,
-        // then CPU -> local NPU (hop 2, serialized on this device's
-        // PCIe link). Every copy pays the runtime launch overhead.
-        const std::uint64_t per_src =
-            remote_bytes / (cfg.numNpus - 1);
-        const Tick hop1 =
-            cfg.copyLaunchOverhead +
-            Tick(double(per_src) / cfg.pcie.bytesPerCycle) +
-            cfg.pcie.latency;
-        const Tick cpu_gather =
-            Tick(double(remote_bytes) / cfg.cpuGatherBytesPerCycle);
-        Tick hop2 = 0;
-        for (unsigned s = 1; s < cfg.numNpus; s++) {
-            hop2 += cfg.copyLaunchOverhead +
-                    Tick(double(per_src) / cfg.pcie.bytesPerCycle) +
-                    cfg.pcie.latency;
-        }
-        remote = hop1 + cpu_gather + hop2;
-        break;
-      }
-      case EmbeddingPolicy::NumaSlow:
-      case EmbeddingPolicy::NumaFast: {
-        const LinkConfig &link = (policy == EmbeddingPolicy::NumaSlow)
-                                     ? cfg.pcie
-                                     : cfg.npuLink;
-        // Fine-grained loads: round-trip latency amortized over
-        // numaConcurrency outstanding accesses, floored by the link
-        // serialization bandwidth.
-        const Tick latency_bound =
-            remote_lookups
-                ? Tick(double(remote_lookups) *
-                       double(2 * link.latency + avg_row /
-                                                     link.bytesPerCycle) /
-                       double(cfg.numaConcurrency))
-                : 0;
-        const Tick bandwidth_bound =
-            Tick(double(remote_bytes) / link.bytesPerCycle);
-        // Translations ride NeuMMU: walks overlap the transfers and
-        // only show through when walk throughput binds.
-        const double walks_per_cycle =
-            double(cfg.numPtws) /
-            double(pageTableLevels * cfg.walkLatencyPerLevel);
-        const Tick translation_bound =
-            Tick(double(remote_lookups) / walks_per_cycle);
-        remote = std::max({latency_bound, bandwidth_bound,
-                           translation_bound}) +
-                 2 * link.latency;
-        break;
-      }
-    }
-
-    lat.embeddingLookup = local_gather + remote;
-    return lat;
+    return computeEmbeddingInference(spec, batch, policy, cfg);
 }
 
 DemandPagingResult
@@ -159,12 +28,6 @@ runDemandPaging(const EmbeddingModelSpec &spec, unsigned batch,
                 PagingMmu mmu_kind, unsigned page_shift,
                 const EmbeddingSystemConfig &cfg, std::uint64_t seed)
 {
-    // Device 0 gathers everything for its shard; tables whose index
-    // is not congruent to 0 mod N live on remote devices and their
-    // pages fault in on first touch.
-    const std::uint64_t samples =
-        std::max<std::uint64_t>(1, batch / cfg.numNpus);
-
     NEUMMU_ASSERT(mmu_kind != MmuKind::Custom,
                   "demand paging takes a named MMU design point");
 
@@ -181,88 +44,20 @@ runDemandPaging(const EmbeddingModelSpec &spec, unsigned batch,
     sys_cfg.dmaBurstBytes = std::max<std::uint64_t>(
         cfg.npu.dmaBurstBytes, spec.tables.front().rowBytes());
     System system(sys_cfg);
-    PageTable &page_table = system.pageTable();
-    FrameAllocator &local_node = system.hbmNode(0);
 
-    // Reserve VA for every table; nothing is mapped yet.
-    AddressSpace &vas = system.addressSpace();
-    std::vector<Segment> table_segs;
-    table_segs.reserve(spec.tables.size());
-    for (const auto &table : spec.tables) {
-        table_segs.push_back(vas.allocateUnbacked(
-            table.name, table.bytes(), page_shift));
-    }
+    EmbeddingWorkloadConfig wl_cfg;
+    wl_cfg.spec = spec;
+    wl_cfg.batch = batch;
+    wl_cfg.mode = EmbeddingWorkloadMode::DemandPaging;
+    wl_cfg.cluster = cfg;
+    wl_cfg.seed = seed;
 
-    Rng rng(seed);
-    std::vector<EmbeddingLookup> lookups =
-        generateLookups(spec, unsigned(samples), rng);
-
-    // Pre-map local tables' touched pages: device 0's own shard is
-    // resident by construction (no faults on local data).
-    for (const EmbeddingLookup &lu : lookups) {
-        if (lu.table % cfg.numNpus != 0)
-            continue;
-        const auto &table = spec.tables[lu.table];
-        const Addr va = table_segs[lu.table].base +
-                        lu.row * table.rowBytes();
-        const Addr page = pageBase(va, page_shift);
-        if (!page_table.isMapped(page))
-            page_table.map(page, local_node.allocate(
-                                     pageSize(page_shift),
-                                     pageSize(page_shift)),
-                           page_shift);
-    }
-
-    Link migrate_link("pcie", cfg.pcie);
-    MmuCore &mmu = system.mmu();
-
-    DemandPagingResult result;
-
-    // Fault handler: migrate the whole page over the interconnect.
-    // In-flight migrations are deduplicated (a second fault on the
-    // same page waits for the first migration).
-    std::unordered_map<Addr, Tick> migrating;
-    mmu.setFaultHandler([&](Addr va, Tick now) -> Tick {
-        const Addr page = pageBase(va, page_shift);
-        const auto it = migrating.find(page);
-        if (it != migrating.end())
-            return it->second;
-        result.faults++;
-        result.migratedBytes += pageSize(page_shift);
-        page_table.map(page,
-                       local_node.allocate(pageSize(page_shift),
-                                           pageSize(page_shift)),
-                       page_shift);
-        const Tick ready = migrate_link.transfer(
-            now + cfg.faultHandlerLatency, pageSize(page_shift));
-        migrating.emplace(page, ready);
-        return ready;
-    });
-
-    // The gather engine: one embedding-row run per lookup, issued at
-    // one translation per cycle through the DMA unit.
-    DmaEngine &dma = system.dma(0);
-
-    std::vector<VaRun> runs;
-    runs.reserve(lookups.size());
-    for (const EmbeddingLookup &lu : lookups) {
-        const auto &table = spec.tables[lu.table];
-        runs.push_back(VaRun{table_segs[lu.table].base +
-                                 lu.row * table.rowBytes(),
-                             table.rowBytes()});
-        result.usefulBytes += table.rowBytes();
-    }
-
-    Tick gather_done = 0;
-    dma.fetch(std::move(runs), [&](Tick at) { gather_done = at; });
-    system.run();
-    NEUMMU_ASSERT(gather_done > 0, "gather never completed");
-
-    // Dense backend is identical across design points.
-    const LatencyBreakdown dense = denseBackend(spec, samples, cfg);
-    result.totalCycles = gather_done + dense.total();
-    result.mmu = mmu.counts();
-    return result;
+    Scheduler scheduler(system);
+    Workload &wl = scheduler.add(
+        std::make_unique<EmbeddingWorkload>(std::move(wl_cfg)), 0);
+    scheduler.run();
+    NEUMMU_ASSERT(wl.done(), "gather never completed");
+    return static_cast<EmbeddingWorkload &>(wl).pagingResult();
 }
 
 } // namespace neummu

@@ -1,20 +1,14 @@
 /**
  * @file
- * Multi-NPU recommender system (Section V, Figs. 5/15/16).
+ * Multi-NPU recommender system drivers (Section V, Figs. 5/15/16).
  *
- * Embedding tables are model-parallelized across N NPUs; the dense
- * MLPs are data-parallel, so each device must gather embeddings for
- * its minibatch shard from every peer (all-to-all). Three gather
- * mechanisms are modeled:
- *
- * - HostStagedCopy: MMU-less baseline. The CPU runtime copies remote
- *   embeddings to pinned host memory, then again into the local NPU.
- * - NumaSlow: NeuMMU-enabled fine-grained CC-NUMA loads over the
- *   legacy PCIe system interconnect.
- * - NumaFast: the same over the high-bandwidth NPU<->NPU fabric.
- *
- * A separate demand-paging mode (Fig. 16) page-faults on remote
- * embeddings and migrates the containing page into local memory.
+ * Since the Workload API redesign this is a thin compatibility shim:
+ * the policy definitions, the analytic Fig. 15 latency model, and the
+ * event-driven Fig. 16 demand-paging gather all live with the
+ * EmbeddingWorkload traffic source (workloads/embedding_workload.hh);
+ * these entry points keep the original one-call signatures for the
+ * benches and tests. New code should use EmbeddingWorkload +
+ * Scheduler directly.
  */
 
 #ifndef NEUMMU_SYSTEM_EMBEDDING_SYSTEM_HH
@@ -24,62 +18,12 @@
 #include <string>
 
 #include "common/types.hh"
-#include "mem/interconnect.hh"
-#include "mem/memory_model.hh"
 #include "mmu/mmu_core.hh"
-#include "npu/npu_config.hh"
 #include "system/system.hh"
 #include "workloads/embedding.hh"
+#include "workloads/embedding_workload.hh"
 
 namespace neummu {
-
-/** Remote-gather mechanism (Fig. 15). */
-enum class EmbeddingPolicy
-{
-    HostStagedCopy,
-    NumaSlow,
-    NumaFast,
-};
-
-std::string policyName(EmbeddingPolicy policy);
-
-/** System-level parameters for the recommender experiments. */
-struct EmbeddingSystemConfig
-{
-    unsigned numNpus = 4;
-    NpuConfig npu{};
-    MemoryConfig hbm{};
-    LinkConfig pcie = pcieLinkConfig();
-    LinkConfig npuLink = npuLinkConfig();
-    /**
-     * CPU-runtime software overhead per staged copy operation
-     * (driver call + pinned-buffer management), in cycles.
-     */
-    Tick copyLaunchOverhead = 1000;
-    /** Kernel-launch overhead per dense operator. */
-    Tick kernelLaunchOverhead = 500;
-    /** CPU-side gather throughput during staged copies. */
-    double cpuGatherBytesPerCycle = 64.0;
-    /** Outstanding fine-grained NUMA accesses the NPU sustains. */
-    unsigned numaConcurrency = 96;
-    /** PTWs available for NUMA translations (NeuMMU default). */
-    unsigned numPtws = 128;
-    Tick walkLatencyPerLevel = 100;
-    /** OS/runtime page-fault handling overhead (demand paging). */
-    Tick faultHandlerLatency = 10000;
-};
-
-/** Latency breakdown of one inference (Fig. 15 categories). */
-struct LatencyBreakdown
-{
-    Tick gemm = 0;
-    Tick reduction = 0;
-    Tick other = 0;
-    Tick embeddingLookup = 0;
-
-    Tick total() const { return gemm + reduction + other +
-                                embeddingLookup; }
-};
 
 /**
  * Fig. 15: latency breakdown of one minibatch inference on one device
@@ -97,18 +41,6 @@ LatencyBreakdown runEmbeddingInference(const EmbeddingModelSpec &spec,
 using PagingMmu = MmuKind;
 
 std::string pagingMmuName(PagingMmu mmu);
-
-/** Outcome of one demand-paging run. */
-struct DemandPagingResult
-{
-    Tick totalCycles = 0;
-    std::uint64_t faults = 0;
-    /** Bytes migrated over the system interconnect. */
-    std::uint64_t migratedBytes = 0;
-    /** Bytes actually useful (gathered embeddings). */
-    std::uint64_t usefulBytes = 0;
-    MmuCounts mmu;
-};
 
 /**
  * Fig. 16: gather all embeddings for @p batch samples on device 0,

@@ -48,6 +48,14 @@ struct SystemConfig
     /** Stats prefix for every component this system builds. */
     std::string name = "sys";
 
+    /**
+     * Root random seed. Every stochastic workload bound to this
+     * system derives its own independent stream from this one value
+     * (see Workload::derivedSeed), so multi-tenant runs are
+     * reproducible regardless of scheduling order.
+     */
+    std::uint64_t seed = 1;
+
     // --- NPUs ------------------------------------------------------
     /** NPU count; > 1 shares the MMU through a TranslationRouter. */
     unsigned numNpus = 1;

@@ -1,0 +1,94 @@
+#include "workloads/dense_dnn_workload.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "system/system.hh"
+
+namespace neummu {
+
+DenseDnnWorkload::DenseDnnWorkload(DenseDnnWorkloadConfig cfg)
+    : Workload("dense." + workloadName(cfg.workload) + ".b" +
+               std::to_string(cfg.batch)),
+      _cfg(std::move(cfg))
+{
+}
+
+void
+DenseDnnWorkload::onBind()
+{
+    _model = makeWorkload(_cfg.workload, _cfg.batch);
+    if (!_cfg.layerOverride.empty())
+        _model.layers = _cfg.layerOverride;
+
+    System &sys = system();
+    const unsigned page_shift = sys.config().pageShift;
+
+    // VA layout: every layer owns fresh IA and W segments, as a
+    // framework allocating all tensors up front would lay them out.
+    // Weights are never re-addressed across layers, so the only
+    // translation reuse is the intra-layer kind the paper studies
+    // (Section IV-C); Fig. 14's VA bands are these segments.
+    AddressSpace &vas = sys.addressSpace();
+    FrameAllocator &hbm = sys.hbmNode(npuSlot());
+    _layerSegs.reserve(_model.layers.size());
+    for (const LayerSpec &layer : _model.layers) {
+        const std::uint64_t ia_bytes = std::max<std::uint64_t>(
+            layer.iaBytes(sys.config().npu.elemBytes),
+            pageSize(page_shift));
+        const std::uint64_t w_bytes = std::max<std::uint64_t>(
+            layer.wBytes(sys.config().npu.elemBytes),
+            pageSize(page_shift));
+        _layerSegs.emplace_back(
+            vas.allocateBacked(layer.name + ".ia", ia_bytes, hbm,
+                               page_shift),
+            vas.allocateBacked(layer.name + ".w", w_bytes, hbm,
+                               page_shift));
+    }
+
+    if (_cfg.translationHook)
+        sys.dma(npuSlot()).setIssueHook(_cfg.translationHook);
+}
+
+void
+DenseDnnWorkload::onStart()
+{
+    _layers.clear();
+    _layers.reserve(_model.layers.size());
+    startLayer(0);
+}
+
+void
+DenseDnnWorkload::startLayer(std::size_t index)
+{
+    if (index >= _model.layers.size()) {
+        finish(system().now());
+        return;
+    }
+
+    System &sys = system();
+    const LayerSpec &layer = _model.layers[index];
+    const Tiler tiler(sys.config().npu);
+    _tiling = tiler.tileLayer(layer, _layerSegs[index].first.base,
+                              _layerSegs[index].second.base);
+    _translationsBeforeLayer =
+        sys.dma(npuSlot()).translationsIssued();
+
+    sys.pipeline(npuSlot())
+        .start(_tiling.tiles, [this, index](const PipelineResult &pr) {
+            LayerResult lr;
+            lr.name = _model.layers[index].name;
+            lr.cycles = pr.totalCycles;
+            lr.tiles = pr.tiles;
+            lr.translations =
+                system().dma(npuSlot()).translationsIssued() -
+                _translationsBeforeLayer;
+            _layers.push_back(std::move(lr));
+            stats().scalar("layersDone").set(double(_layers.size()));
+            startLayer(index + 1);
+        });
+}
+
+} // namespace neummu

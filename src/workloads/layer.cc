@@ -36,7 +36,7 @@ LayerSpec::wBytes(unsigned elem_bytes) const
 }
 
 std::uint64_t
-Workload::maxIaBytes(unsigned elem_bytes) const
+DnnModel::maxIaBytes(unsigned elem_bytes) const
 {
     std::uint64_t b = 0;
     for (const auto &layer : layers)
@@ -45,7 +45,7 @@ Workload::maxIaBytes(unsigned elem_bytes) const
 }
 
 std::uint64_t
-Workload::maxWBytes(unsigned elem_bytes) const
+DnnModel::maxWBytes(unsigned elem_bytes) const
 {
     std::uint64_t b = 0;
     for (const auto &layer : layers)

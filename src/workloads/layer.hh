@@ -71,7 +71,7 @@ struct LayerSpec
 };
 
 /** A named sequence of layers. */
-struct Workload
+struct DnnModel
 {
     std::string name;
     std::vector<LayerSpec> layers;

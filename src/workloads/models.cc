@@ -34,7 +34,7 @@ gemmLayer(const std::string &name, std::uint64_t m, std::uint64_t k,
 
 /** One GoogLeNet inception module: six convolution kernels. */
 void
-addInception(Workload &wl, const std::string &name, unsigned batch,
+addInception(DnnModel &wl, const std::string &name, unsigned batch,
              unsigned cin, unsigned hw, unsigned n1x1, unsigned n3x3red,
              unsigned n3x3, unsigned n5x5red, unsigned n5x5,
              unsigned pool_proj)
@@ -55,7 +55,7 @@ addInception(Workload &wl, const std::string &name, unsigned batch,
 
 /** One ResNet bottleneck block (1x1 -> 3x3 -> 1x1 [+ projection]). */
 void
-addBottleneck(Workload &wl, const std::string &name, unsigned batch,
+addBottleneck(DnnModel &wl, const std::string &name, unsigned batch,
               unsigned cin, unsigned hw_in, unsigned mid, unsigned cout,
               unsigned stride, bool project)
 {
@@ -73,10 +73,10 @@ addBottleneck(Workload &wl, const std::string &name, unsigned batch,
     }
 }
 
-Workload
+DnnModel
 makeAlexNet(unsigned batch)
 {
-    Workload wl{"CNN-1", {}};
+    DnnModel wl{"CNN-1", {}};
     wl.layers.push_back(
         convLayer("conv1", batch, 3, 227, 227, 96, 11, 11, 4, 0));
     wl.layers.push_back(
@@ -93,10 +93,10 @@ makeAlexNet(unsigned batch)
     return wl;
 }
 
-Workload
+DnnModel
 makeGoogLeNet(unsigned batch)
 {
-    Workload wl{"CNN-2", {}};
+    DnnModel wl{"CNN-2", {}};
     wl.layers.push_back(
         convLayer("conv1", batch, 3, 224, 224, 64, 7, 7, 2, 3));
     wl.layers.push_back(
@@ -116,10 +116,10 @@ makeGoogLeNet(unsigned batch)
     return wl;
 }
 
-Workload
+DnnModel
 makeResNet50(unsigned batch)
 {
-    Workload wl{"CNN-3", {}};
+    DnnModel wl{"CNN-3", {}};
     wl.layers.push_back(
         convLayer("conv1", batch, 3, 224, 224, 64, 7, 7, 2, 3));
 
@@ -162,11 +162,11 @@ makeResNet50(unsigned batch)
  * one GEMM over the concatenated [input, hidden] vector: vanilla RNN
  * produces h outputs, an LSTM produces 4h gate pre-activations.
  */
-Workload
+DnnModel
 makeRnn(const std::string &name, unsigned batch, unsigned hidden,
         unsigned gates)
 {
-    Workload wl{name, {}};
+    DnnModel wl{name, {}};
     wl.layers.push_back(gemmLayer("step", batch, 2ull * hidden,
                                   std::uint64_t(gates) * hidden,
                                   rnnSimulatedTimesteps));
@@ -199,7 +199,7 @@ workloadName(WorkloadId id)
     NEUMMU_PANIC("unknown workload id");
 }
 
-Workload
+DnnModel
 makeWorkload(WorkloadId id, unsigned batch)
 {
     NEUMMU_ASSERT(batch >= 1, "batch must be >= 1");
@@ -214,14 +214,14 @@ makeWorkload(WorkloadId id, unsigned batch)
     NEUMMU_PANIC("unknown workload id");
 }
 
-Workload
+DnnModel
 makeCommonLayer(WorkloadId id, unsigned batch)
 {
     // Large batches make convolutions compute-bound (translation
     // latency hides); the memory-bound layers that dominate large-
     // batch translation behavior are the fully connected ones, so
     // they serve as each CNN's common layer configuration.
-    Workload wl{workloadName(id) + ".common", {}};
+    DnnModel wl{workloadName(id) + ".common", {}};
     switch (id) {
       case WorkloadId::CNN1:
         wl.layers.push_back(gemmLayer("fc6", batch, 9216, 4096));

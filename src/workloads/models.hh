@@ -40,7 +40,7 @@ std::string workloadName(WorkloadId id);
  * remaining steps statistically identical, mirroring how the paper
  * truncates large-batch runs to keep simulation tractable.
  */
-Workload makeWorkload(WorkloadId id, unsigned batch);
+DnnModel makeWorkload(WorkloadId id, unsigned batch);
 
 /** Simulated RNN timesteps (DeepBench runs many more). */
 inline constexpr unsigned rnnSimulatedTimesteps = 4;
@@ -49,7 +49,7 @@ inline constexpr unsigned rnnSimulatedTimesteps = 4;
  * The workload's representative "common layer configuration"
  * (Section VI-C) at an arbitrary (large) batch size.
  */
-Workload makeCommonLayer(WorkloadId id, unsigned batch);
+DnnModel makeCommonLayer(WorkloadId id, unsigned batch);
 
 } // namespace neummu
 

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * String-keyed workload factory: turns a compact spec string into a
+ * Workload, so benches, examples, and scripts can select traffic
+ * sources by name (--workloads=dense:model=CNN1;synthetic:pattern=
+ * uniform,accesses=2048).
+ *
+ * Spec grammar:  kind[:key=value[,key=value...]]
+ *
+ *   dense      model=CNN1..RNN3  batch=N
+ *   embedding  model=dlrm|ncf  batch=N  mode=inference|paging
+ *              policy=host|slow|fast  seed=N
+ *   synthetic  pattern=stride|uniform|hotset|chase  footprint=SZ
+ *              accesses=N  bytes=SZ  stride=SZ  batch=N  think=N
+ *              hot=F  phot=F  seed=N
+ *   trace      path=FILE  map=0|1
+ *
+ * Sizes (SZ) accept K/M/G suffixes. Unknown kinds or keys are fatal
+ * (user error), so typos never silently fall back to defaults.
+ */
+
+#ifndef NEUMMU_WORKLOADS_WORKLOAD_FACTORY_HH
+#define NEUMMU_WORKLOADS_WORKLOAD_FACTORY_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace neummu {
+
+/** A parsed workload spec: kind plus key=value parameters. */
+struct WorkloadSpec
+{
+    std::string kind;
+    std::map<std::string, std::string> params;
+};
+
+/** Parse "kind:k=v,k=v". Fatal on malformed input. */
+WorkloadSpec parseWorkloadSpec(const std::string &text);
+
+/** Size literal with optional K/M/G suffix ("64K"). Fatal on junk. */
+std::uint64_t parseSizeBytes(const std::string &text);
+
+/** Instantiate one workload from a spec string. Fatal on junk. */
+std::unique_ptr<Workload> makeWorkloadFromSpec(const std::string &text);
+
+/**
+ * Instantiate every ';'-separated spec of @p list, in order (the
+ * usual value of a --workloads= option).
+ */
+std::vector<std::unique_ptr<Workload>> makeWorkloadsFromList(
+    const std::string &list);
+
+/** The registered workload kinds, for help text and docs. */
+const std::vector<std::string> &workloadFactoryKinds();
+
+/** One-line usage summary of every kind (for --help output). */
+std::string workloadFactoryHelp();
+
+} // namespace neummu
+
+#endif // NEUMMU_WORKLOADS_WORKLOAD_FACTORY_HH

@@ -163,6 +163,67 @@ TEST(StatsRegistry, JsonEscapesSpecialCharacters)
 {
     EXPECT_EQ(stats::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     EXPECT_EQ(stats::jsonEscape("plain"), "plain");
+    EXPECT_EQ(stats::jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(stats::jsonEscape("cr\rbs\bff\f"),
+              "cr\\u000dbs\\u0008ff\\u000c");
+    EXPECT_EQ(stats::jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(stats::jsonEscape(std::string(1, '\x1f')), "\\u001f");
+    // UTF-8 multibyte content passes through untouched (high bit set
+    // must not be treated as a control character).
+    EXPECT_EQ(stats::jsonEscape("\xc3\xa9"), "\xc3\xa9");
+    EXPECT_EQ(stats::jsonEscape(""), "");
+}
+
+TEST(StatsRegistry, JsonSurvivesHostileGroupAndStatNames)
+{
+    // Workload-provided names (trace paths, model names) routinely
+    // contain quotes, backslashes, and control characters; the JSON
+    // dump must stay parseable.
+    stats::StatsRegistry reg;
+    stats::Group &g =
+        reg.group("wl0.trace:C:\\data\\\"run 1\"\n.jsonl");
+    g.scalar("odd\"stat\\name").set(7);
+    g.average("avg\twith\ttabs").sample(1.0);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string json = os.str();
+
+    // No raw quotes/backslashes/control characters may survive
+    // inside a string literal: scan every string token.
+    EXPECT_EQ(json.find('\t'), std::string::npos);
+    EXPECT_NE(json.find("\\\"run 1\\\""), std::string::npos);
+    EXPECT_NE(json.find("odd\\\"stat\\\\name"), std::string::npos);
+    EXPECT_NE(json.find("avg\\twith\\ttabs"), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+
+    // Structural validation: quotes must balance (every unescaped
+    // quote toggles in/out of a string; the dump must end outside).
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); i++) {
+        if (json[i] == '\\' && in_string) {
+            i++; // skip the escaped character
+        } else if (json[i] == '"') {
+            in_string = !in_string;
+        } else if (!in_string && json[i] == '\n') {
+            continue;
+        }
+    }
+    EXPECT_FALSE(in_string);
+}
+
+TEST(StatsRegistry, JsonNonFiniteValuesSerializeAsNull)
+{
+    stats::StatsRegistry reg;
+    reg.group("g").scalar("nan").set(
+        std::numeric_limits<double>::quiet_NaN());
+    reg.group("g").scalar("inf").set(
+        std::numeric_limits<double>::infinity());
+    std::ostringstream os;
+    reg.dumpJson(os);
+    EXPECT_NE(os.str().find("\"nan\": null"), std::string::npos);
+    EXPECT_NE(os.str().find("\"inf\": null"), std::string::npos);
 }
 
 TEST(StatsRegistry, ResetClearsEveryGroup)
@@ -222,6 +283,30 @@ TEST(Rng, UniformInUnitInterval)
     EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
 }
 
+TEST(Rng, DeriveSeedIsDeterministicAndStreamsDiverge)
+{
+    EXPECT_EQ(deriveSeed(42, 0), deriveSeed(42, 0));
+    EXPECT_NE(deriveSeed(42, 0), deriveSeed(42, 1));
+    EXPECT_NE(deriveSeed(42, 0), deriveSeed(43, 0));
+    // Adjacent roots/streams must not produce correlated children.
+    Rng a(deriveSeed(1, 0)), b(deriveSeed(1, 1)), c(deriveSeed(2, 0));
+    bool ab = false, ac = false;
+    for (int i = 0; i < 8; i++) {
+        const std::uint64_t va = a.next();
+        ab |= va != b.next();
+        ac |= va != c.next();
+    }
+    EXPECT_TRUE(ab);
+    EXPECT_TRUE(ac);
+}
+
+TEST(Rng, HashStringStableAndSensitive)
+{
+    EXPECT_EQ(hashString("dense.CNN-1"), hashString("dense.CNN-1"));
+    EXPECT_NE(hashString("dense.CNN-1"), hashString("dense.CNN-2"));
+    EXPECT_NE(hashString(""), hashString("x"));
+}
+
 TEST(ArgParser, ParsesKeyValueAndFlags)
 {
     const char *argv[] = {"prog", "--batch=8", "--name=CNN-1", "--fast",
@@ -233,4 +318,21 @@ TEST(ArgParser, ParsesKeyValueAndFlags)
     EXPECT_FALSE(args.has("positional"));
     EXPECT_EQ(args.getInt("missing", 42), 42);
     EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
+}
+
+TEST(ArgParser, GetListSplitsAndDropsEmptyPieces)
+{
+    const char *argv[] = {"prog", "--workloads=a;b;;c"};
+    ArgParser args(2, const_cast<char **>(argv));
+    const std::vector<std::string> list =
+        args.getList("workloads", "");
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[0], "a");
+    EXPECT_EQ(list[1], "b");
+    EXPECT_EQ(list[2], "c");
+    EXPECT_TRUE(args.getList("missing", "").empty());
+    const std::vector<std::string> fallback =
+        args.getList("missing", "x;y");
+    ASSERT_EQ(fallback.size(), 2u);
+    EXPECT_EQ(fallback[1], "y");
 }

@@ -38,8 +38,8 @@ TEST(Layers, ConvEffectiveGemmUsesIm2col)
 TEST(Layers, FootprintsArePositiveAndScaleWithBatch)
 {
     for (const WorkloadId id : allWorkloads()) {
-        const Workload b1 = makeWorkload(id, 1);
-        const Workload b8 = makeWorkload(id, 8);
+        const DnnModel b1 = makeWorkload(id, 1);
+        const DnnModel b8 = makeWorkload(id, 8);
         EXPECT_FALSE(b1.layers.empty()) << workloadName(id);
         EXPECT_GT(b1.maxIaBytes(2), 0u);
         EXPECT_GT(b1.maxWBytes(2), 0u);
@@ -51,7 +51,7 @@ TEST(Layers, FootprintsArePositiveAndScaleWithBatch)
 
 TEST(Models, AlexNetShape)
 {
-    const Workload wl = makeWorkload(WorkloadId::CNN1, 1);
+    const DnnModel wl = makeWorkload(WorkloadId::CNN1, 1);
     EXPECT_EQ(wl.layers.size(), 8u); // 5 conv + 3 fc
     EXPECT_EQ(wl.layers[0].conv.cout, 96u);
     EXPECT_EQ(wl.layers[5].gemm.k, 9216u);
@@ -60,35 +60,35 @@ TEST(Models, AlexNetShape)
 
 TEST(Models, GoogLeNetHasNineInceptionModules)
 {
-    const Workload wl = makeWorkload(WorkloadId::CNN2, 1);
+    const DnnModel wl = makeWorkload(WorkloadId::CNN2, 1);
     // 3 stem convs + 9 modules x 6 convs + 1 fc.
     EXPECT_EQ(wl.layers.size(), 3u + 9 * 6 + 1);
 }
 
 TEST(Models, ResNet50LayerCount)
 {
-    const Workload wl = makeWorkload(WorkloadId::CNN3, 1);
+    const DnnModel wl = makeWorkload(WorkloadId::CNN3, 1);
     // conv1 + 16 bottlenecks x 3 + 4 projections + fc = 54.
     EXPECT_EQ(wl.layers.size(), 1u + 16 * 3 + 4 + 1);
 }
 
 TEST(Models, RnnsAreRepeatedGemms)
 {
-    const Workload rnn1 = makeWorkload(WorkloadId::RNN1, 4);
+    const DnnModel rnn1 = makeWorkload(WorkloadId::RNN1, 4);
     ASSERT_EQ(rnn1.layers.size(), 1u);
     EXPECT_EQ(rnn1.layers[0].gemm.m, 4u);
     EXPECT_EQ(rnn1.layers[0].gemm.k, 5120u);
     EXPECT_EQ(rnn1.layers[0].gemm.n, 2560u);
     EXPECT_EQ(rnn1.layers[0].repeat, rnnSimulatedTimesteps);
 
-    const Workload rnn3 = makeWorkload(WorkloadId::RNN3, 1);
+    const DnnModel rnn3 = makeWorkload(WorkloadId::RNN3, 1);
     EXPECT_EQ(rnn3.layers[0].gemm.n, 4u * 2048); // LSTM gates
 }
 
 TEST(Models, CommonLayerExistsForEveryWorkload)
 {
     for (const WorkloadId id : allWorkloads()) {
-        const Workload wl = makeCommonLayer(id, 64);
+        const DnnModel wl = makeCommonLayer(id, 64);
         ASSERT_EQ(wl.layers.size(), 1u) << workloadName(id);
         EXPECT_GT(wl.layers[0].effectiveGemm().macs(), 0u);
     }
@@ -110,7 +110,7 @@ class TilerProperties
 TEST_P(TilerProperties, TilesRespectSpmBudgetsAndCoverTensors)
 {
     const auto [id, batch] = GetParam();
-    const Workload wl = makeWorkload(id, batch);
+    const DnnModel wl = makeWorkload(id, batch);
     NpuConfig npu;
     Tiler tiler(npu);
 
@@ -150,7 +150,7 @@ TEST_P(TilerProperties, TilesRespectSpmBudgetsAndCoverTensors)
 TEST_P(TilerProperties, ComputeCyclesCoverTheWholeGemm)
 {
     const auto [id, batch] = GetParam();
-    const Workload wl = makeWorkload(id, batch);
+    const DnnModel wl = makeWorkload(id, batch);
     NpuConfig npu;
     Tiler tiler(npu);
     for (const LayerSpec &layer : wl.layers) {
