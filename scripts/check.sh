@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build everything with warnings as
-# errors, verify every bench/example target actually built, then run
-# the full test suite.
+# errors, verify every bench/example target actually built, run the
+# full test suite (the golden-stats regression matrix must be part of
+# it, not silently skipped), and record one simulator-throughput
+# point (BENCH_sim_throughput.json) so every run logs the kernel's
+# events/sec trajectory.
 #
 # Env:
 #   BUILD_DIR  build tree (default: build)
@@ -20,17 +23,12 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # Every bench/bench_*.cc and examples/*.cc must have produced an
 # executable; a silently dropped target (bad glob, renamed file,
 # dependency-gated bench) otherwise goes unnoticed until someone needs
-# the figure. bench_sim_throughput is optional: it needs
-# google-benchmark, which not every CI image carries.
+# the figure. bench_sim_throughput is self-timed (no google-benchmark
+# dependency), so it is required like everything else.
 missing=0
 for src in bench/bench_*.cc examples/*.cc; do
   target="$(basename "$src" .cc)"
   if [[ ! -x "$BUILD_DIR/$target" ]]; then
-    if [[ "$target" == "bench_sim_throughput" ]]; then
-      echo "note: optional target $target not built" \
-           "(google-benchmark missing)"
-      continue
-    fi
     echo "error: target $target (from $src) was not built" >&2
     missing=1
   fi
@@ -40,4 +38,29 @@ if [[ "$missing" -ne 0 ]]; then
   exit 1
 fi
 
+# The golden-stats matrix is the cycle-exactness gate for every
+# kernel/performance change: a build where it silently vanished (e.g.
+# gtest not found, so NO tests were registered) must not pass.
+if [[ ! -x "$BUILD_DIR/test_golden_stats" ]]; then
+  echo "error: test_golden_stats was not built (gtest missing?);" \
+       "the golden-stats regression gate cannot be skipped" >&2
+  exit 1
+fi
+if ! ctest --test-dir "$BUILD_DIR" -N | grep -q test_golden_stats; then
+  echo "error: test_golden_stats is not registered with ctest" >&2
+  exit 1
+fi
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Simulator-throughput smoke: one repetition, recorded as JSON. The
+# simulated counters in the report are deterministic; the events/sec
+# rates document this machine. CI archives the file as an artifact,
+# giving the repo a perf trajectory across PRs.
+BENCH_JSON="$BUILD_DIR/BENCH_sim_throughput.json"
+"$BUILD_DIR/bench_sim_throughput" --reps=1 --json="$BENCH_JSON"
+if [[ ! -s "$BENCH_JSON" ]]; then
+  echo "error: bench_sim_throughput produced no JSON report" >&2
+  exit 1
+fi
+echo "throughput report: $BENCH_JSON"

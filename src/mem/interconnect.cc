@@ -21,7 +21,10 @@ npuLinkConfig()
 }
 
 Link::Link(std::string name, LinkConfig cfg)
-    : _cfg(cfg), _stats(std::move(name))
+    : _cfg(cfg), _stats(std::move(name)),
+      _sBytesTransferred(_stats.scalar("bytesTransferred")),
+      _sTransfers(_stats.scalar("transfers")),
+      _sAccesses(_stats.scalar("accesses"))
 {
     NEUMMU_ASSERT(cfg.bytesPerCycle > 0.0, "link bandwidth must be > 0");
 }
@@ -33,8 +36,8 @@ Link::transfer(Tick now, std::uint64_t bytes)
     const Tick busy = std::max<Tick>(
         1, Tick(double(bytes) / _cfg.bytesPerCycle + 0.999999));
     _free = start + busy;
-    _stats.scalar("bytesTransferred") += double(bytes);
-    ++_stats.scalar("transfers");
+    _sBytesTransferred += double(bytes);
+    ++_sTransfers;
     return start + busy + _cfg.latency;
 }
 
@@ -46,8 +49,8 @@ Link::access(Tick now, std::uint64_t bytes)
     const Tick busy = std::max<Tick>(
         1, Tick(double(bytes) / _cfg.bytesPerCycle + 0.999999));
     _free = start + busy;
-    _stats.scalar("bytesTransferred") += double(bytes);
-    ++_stats.scalar("accesses");
+    _sBytesTransferred += double(bytes);
+    ++_sAccesses;
     return start + busy + 2 * _cfg.latency;
 }
 

@@ -57,6 +57,11 @@ class Link
     LinkConfig _cfg;
     Tick _free = 0;
     stats::Group _stats;
+    /** Cached counters: transfers run per migrated page, so no
+     *  per-call string-keyed stats lookups on the hot path. */
+    stats::Scalar &_sBytesTransferred;
+    stats::Scalar &_sTransfers;
+    stats::Scalar &_sAccesses;
 };
 
 } // namespace neummu

@@ -8,7 +8,10 @@
 namespace neummu {
 
 MemoryModel::MemoryModel(std::string name, MemoryConfig cfg)
-    : _cfg(cfg), _stats(std::move(name))
+    : _cfg(cfg), _stats(std::move(name)),
+      _sAccesses(_stats.scalar("accesses")),
+      _sBytesRead(_stats.scalar("bytesRead")),
+      _sBytesWritten(_stats.scalar("bytesWritten"))
 {
     NEUMMU_ASSERT(cfg.channels > 0, "memory needs at least one channel");
     NEUMMU_ASSERT(cfg.bytesPerCycle > 0.0, "memory bandwidth must be > 0");
@@ -21,8 +24,8 @@ MemoryModel::access(Tick now, Addr pa, std::uint64_t bytes, bool is_write)
 {
     NEUMMU_ASSERT(bytes > 0, "zero-byte memory access");
 
-    _stats.scalar(is_write ? "bytesWritten" : "bytesRead") += double(bytes);
-    ++_stats.scalar("accesses");
+    (is_write ? _sBytesWritten : _sBytesRead) += double(bytes);
+    ++_sAccesses;
 
     Tick last_done = now;
     Addr cursor = pa;

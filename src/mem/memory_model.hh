@@ -69,6 +69,11 @@ class MemoryModel
     /** Fractional busy-until times avoid per-chunk rounding loss. */
     std::vector<double> _channelFree;
     stats::Group _stats;
+    /** Cached counters: access() runs per burst, so no per-call
+     *  string-keyed stats lookups on the hot path. */
+    stats::Scalar &_sAccesses;
+    stats::Scalar &_sBytesRead;
+    stats::Scalar &_sBytesWritten;
 };
 
 } // namespace neummu

@@ -90,13 +90,18 @@ MmuCore::refreshStats()
 MmuCore::MmuCore(std::string name, EventQueue &eq, PageTable &pt,
                  MmuConfig cfg)
     : _name(std::move(name)), _eq(eq), _pt(pt), _cfg(cfg),
-      _tlb(_name + ".tlb", cfg.tlb), _stats(_name)
+      _tlb(_name + ".tlb", cfg.tlb), _pts(2 * cfg.numPtws),
+      _inflight(2 * cfg.numPtws), _stats(_name)
 {
     NEUMMU_ASSERT(cfg.numPtws > 0 || cfg.oracle,
                   "an MMU needs at least one walker");
     _walkers.resize(cfg.numPtws);
-    for (unsigned i = 0; i < cfg.numPtws; i++)
+    for (unsigned i = 0; i < cfg.numPtws; i++) {
+        // Initiator slot plus a full PRMB, reserved once so merges
+        // never reallocate mid-walk.
+        _walkers[i].pending.reserve(cfg.prmbSlots + 1);
         _freeWalkers.push_back(cfg.numPtws - 1 - i);
+    }
 
     if (cfg.pathCache == MmuCacheKind::Tpc) {
         _tpc = std::make_unique<TranslationPathCache>(
@@ -190,12 +195,15 @@ MmuCore::translate(Addr va, std::uint64_t id)
     if (_cfg.prmbSlots > 0) {
         // NeuMMU path: probe the pending translation scoreboard.
         _counts.ptsLookups++;
-        const auto it = _pts.find(vpn);
-        if (it != _pts.end()) {
-            Walker &w = _walkers[it->second];
-            // pending[0] is the initiator; merged requests occupy the
-            // PRMB slots.
-            if (w.pending.size() - 1 < _cfg.prmbSlots) {
+        if (const unsigned *walker_idx = _pts.find(vpn)) {
+            Walker &w = _walkers[*walker_idx];
+            // pending[0] is the initiator; merged requests occupy
+            // the PRMB slots. A speculative prefetch walk has an
+            // empty pending list and accepts no merges (demand
+            // requests for its page block until capacity frees) --
+            // the explicit guard keeps size()-1 from underflowing.
+            if (!w.pending.empty() &&
+                w.pending.size() - 1 < _cfg.prmbSlots) {
                 w.pending.push_back(TranslationResponse{id, va,
                                                         invalidAddr});
                 _counts.prmbMerges++;
@@ -233,13 +241,13 @@ MmuCore::startWalk(unsigned walker_idx, Addr va, std::uint64_t id,
         w.pending.push_back(TranslationResponse{id, va, invalidAddr});
     _busyWalkers++;
 
-    auto [infl, inserted] = _inflight.try_emplace(vpn, 0u);
-    if (infl->second > 0)
+    unsigned &inflight_count = _inflight.insert(vpn, 0u).first;
+    if (inflight_count > 0)
         _counts.redundantWalks++;
-    infl->second++;
+    inflight_count++;
 
     if (_cfg.prmbSlots > 0)
-        _pts.emplace(vpn, walker_idx);
+        _pts.insert(vpn, walker_idx);
 
     _counts.walks++;
 
@@ -265,9 +273,12 @@ MmuCore::startWalk(unsigned walker_idx, Addr va, std::uint64_t id,
     const Tick start = std::max(now + _cfg.tlb.hitLatency, ready);
     const Tick done = start + Tick(accesses) * _cfg.walkLatencyPerLevel;
 
-    _eq.schedule(done, [this, walker_idx, walk] {
-        finishWalk(walker_idx, walk);
-    });
+    // The walk outcome parks in the walker (it is busy until the
+    // completion fires), so the continuation capture stays tiny and
+    // inline in the event's small-buffer callback.
+    w.walk = walk;
+    _eq.schedule(done,
+                 [this, walker_idx] { finishWalk(walker_idx); });
 }
 
 unsigned
@@ -315,10 +326,11 @@ MmuCore::updatePathCache(Walker &w, Addr va, const WalkResult &walk)
 }
 
 void
-MmuCore::finishWalk(unsigned walker_idx, const WalkResult &walk)
+MmuCore::finishWalk(unsigned walker_idx)
 {
     Walker &w = _walkers[walker_idx];
     NEUMMU_ASSERT(w.busy, "finishing an idle walker");
+    const WalkResult walk = w.walk;
     const Tick now = _eq.now();
     const Addr vpn = w.vpn;
     const bool was_prefetch = w.pending.empty();
@@ -347,10 +359,10 @@ MmuCore::finishWalk(unsigned walker_idx, const WalkResult &walk)
     if (_cfg.prmbSlots > 0)
         _pts.erase(vpn);
 
-    const auto infl = _inflight.find(vpn);
-    NEUMMU_ASSERT(infl != _inflight.end(), "in-flight bookkeeping lost");
-    if (--infl->second == 0)
-        _inflight.erase(infl);
+    unsigned *inflight_count = _inflight.find(vpn);
+    NEUMMU_ASSERT(inflight_count, "in-flight bookkeeping lost");
+    if (--*inflight_count == 0)
+        _inflight.erase(vpn);
 
     // Only demand walks trigger speculation; letting prefetch walks
     // chain would sweep the whole mapped region unprompted.
@@ -370,7 +382,7 @@ MmuCore::maybePrefetch(Addr vpn)
         if (_freeWalkers.empty())
             return; // demand traffic keeps priority over speculation
         const Addr next = vpn + i;
-        if (_tlb.probe(next) || _inflight.count(next))
+        if (_tlb.probe(next) || _inflight.contains(next))
             continue;
         // Never speculate past the mapped region (and never fault).
         if (!_pt.isMapped(next << _cfg.pageShift))

@@ -22,9 +22,9 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "common/units.hh"
@@ -145,6 +145,21 @@ class MmuCore : public TranslationEngine
 
     /** Walkers currently busy (tests/diagnostics). */
     unsigned busyWalkers() const { return _busyWalkers; }
+    /** Walkers currently idle in the free pool (tests/diagnostics). */
+    std::size_t freeWalkers() const { return _freeWalkers.size(); }
+
+    // --- Pool lifecycle observability (tests/diagnostics) ----------
+    /** Live PTS scoreboard entries (0 once the queue drains). */
+    std::size_t ptsLiveEntries() const { return _pts.size(); }
+    /** Peak PTS scoreboard occupancy (bounded by the walker pool). */
+    std::size_t ptsHighWater() const { return _pts.highWater(); }
+    /** Live in-flight-VPN entries (0 once the queue drains). */
+    std::size_t inflightLiveEntries() const { return _inflight.size(); }
+    /** Peak in-flight-VPN occupancy (bounded by the walker pool). */
+    std::size_t inflightHighWater() const
+    {
+        return _inflight.highWater();
+    }
 
   private:
     struct Walker
@@ -153,16 +168,25 @@ class MmuCore : public TranslationEngine
         Addr vpn = invalidAddr;
         /**
          * Requests served by this walk: initiator first. Empty for
-         * speculative prefetch walks.
+         * speculative prefetch walks. Capacity is reserved for a
+         * full PRMB at construction and retained across walks, so
+         * steady-state merging never allocates.
          */
         std::vector<TranslationResponse> pending;
+        /**
+         * The functional walk outcome, parked here between
+         * startWalk() and the walk-completion event so the scheduled
+         * continuation captures only the walker index (and stays
+         * within the EventCallback inline buffer).
+         */
+        WalkResult walk;
         TpReg tpreg;
     };
 
     void respondAt(Tick when, const TranslationResponse &resp);
     void startWalk(unsigned walker_idx, Addr va, std::uint64_t id,
                    bool is_prefetch = false);
-    void finishWalk(unsigned walker_idx, const WalkResult &walk);
+    void finishWalk(unsigned walker_idx);
     void maybePrefetch(Addr vpn);
     unsigned consultPathCache(Walker &w, Addr va, const WalkResult &walk);
     void updatePathCache(Walker &w, Addr va, const WalkResult &walk);
@@ -178,9 +202,9 @@ class MmuCore : public TranslationEngine
     std::vector<unsigned> _freeWalkers;
     unsigned _busyWalkers = 0;
     /** PTS: in-flight VPN -> walker (only when prmbSlots > 0). */
-    std::unordered_map<Addr, unsigned> _pts;
+    FlatMap64<unsigned> _pts;
     /** In-flight VPN multiplicity (redundant-walk accounting). */
-    std::unordered_map<Addr, unsigned> _inflight;
+    FlatMap64<unsigned> _inflight;
     std::unique_ptr<TranslationPathCache> _tpc;
     std::unique_ptr<UnifiedPageTableCache> _uptc;
     ResponseCallback _respond;

@@ -13,12 +13,21 @@
 
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 
 #include "common/types.hh"
 
 namespace neummu {
 
-/** Completion of one translation request. */
+/**
+ * Completion of one translation request.
+ *
+ * In-flight responses are pooled, not allocated: they live in the
+ * walkers' preallocated PRMB slabs while a walk is pending and are
+ * captured by value in small-buffer event callbacks on the way back
+ * to the DMA. Keep this struct small and trivially copyable (the
+ * static_assert below guards the pooling contract).
+ */
 struct TranslationResponse
 {
     /** Caller-chosen request token. */
@@ -28,6 +37,12 @@ struct TranslationResponse
     /** Translated physical address. */
     Addr pa = invalidAddr;
 };
+
+static_assert(std::is_trivially_copyable_v<TranslationResponse> &&
+                  sizeof(TranslationResponse) <= 32,
+              "TranslationResponse is pooled in walker slabs and "
+              "captured inline in event callbacks; keep it small "
+              "and trivially copyable");
 
 /** Aggregate translation-activity counters, one set per engine. */
 struct MmuCounts

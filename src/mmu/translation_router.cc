@@ -189,15 +189,14 @@ TranslationRouter::onWake()
     // deepest backlog re-arbitrate first, approximating the FIFO
     // request queue of a real IOMMU front end -- this is what lets a
     // bursty accelerator starve a quiet one under the Shared policy.
-    std::vector<Port *> order;
-    order.reserve(_ports.size());
+    _wakeOrder.clear();
     for (auto &port : _ports)
-        order.push_back(port.get());
-    std::stable_sort(order.begin(), order.end(),
+        _wakeOrder.push_back(port.get());
+    std::stable_sort(_wakeOrder.begin(), _wakeOrder.end(),
                      [](const Port *a, const Port *b) {
                          return a->_inflight > b->_inflight;
                      });
-    for (Port *port : order) {
+    for (Port *port : _wakeOrder) {
         if (port->_wake)
             port->_wake();
     }

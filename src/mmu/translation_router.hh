@@ -94,6 +94,8 @@ class TranslationRouter
     unsigned _perClientCap;
     std::string _name;
     std::vector<std::unique_ptr<Port>> _ports;
+    /** Scratch for onWake() arbitration order (reused per wake). */
+    std::vector<Port *> _wakeOrder;
 
     static constexpr unsigned clientShift = 56;
 };

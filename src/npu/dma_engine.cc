@@ -11,7 +11,9 @@ DmaEngine::DmaEngine(std::string name, EventQueue &eq,
                      TranslationEngine &mmu, MemoryModel &mem,
                      DmaConfig cfg)
     : _name(std::move(name)), _eq(eq), _mmu(mmu), _mem(mem), _cfg(cfg),
-      _stats(_name)
+      _stats(_name),
+      _sTranslationsIssued(_stats.scalar("translationsIssued")),
+      _sStallCycles(_stats.scalar("stallCycles"))
 {
     NEUMMU_ASSERT(cfg.burstBytes > 0, "zero DMA burst size");
     _mmu.setResponseCallback(
@@ -95,10 +97,10 @@ DmaEngine::tryIssue()
         return;
     }
 
-    _burstBytesById.emplace(id, len);
+    _burstBytesById.insert(id, len);
     _inFlight++;
     _translations++;
-    ++_stats.scalar("translationsIssued");
+    ++_sTranslationsIssued;
     if (_hook)
         _hook(_eq.now(), va);
     advance(len);
@@ -117,8 +119,7 @@ DmaEngine::onWake()
         return;
     _blocked = false;
     _stallCycles += _eq.now() - _blockedSince;
-    _stats.scalar("stallCycles") +=
-        double(_eq.now() - _blockedSince);
+    _sStallCycles += double(_eq.now() - _blockedSince);
     _issueScheduled = true;
     _eq.scheduleIn(1, [this] { tryIssue(); });
 }
@@ -126,11 +127,10 @@ DmaEngine::onWake()
 void
 DmaEngine::onTranslation(const TranslationResponse &resp)
 {
-    const auto it = _burstBytesById.find(resp.id);
-    NEUMMU_ASSERT(it != _burstBytesById.end(),
-                  "translation response for unknown burst");
-    const std::uint64_t len = it->second;
-    _burstBytesById.erase(it);
+    const std::uint64_t *len_slot = _burstBytesById.find(resp.id);
+    NEUMMU_ASSERT(len_slot, "translation response for unknown burst");
+    const std::uint64_t len = *len_slot;
+    _burstBytesById.erase(resp.id);
 
     // Launch the data read; completion lands the burst in the SPM.
     const Tick data_at = _mem.access(_eq.now(), resp.pa, len, false);

@@ -14,9 +14,9 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/memory_model.hh"
@@ -76,6 +76,14 @@ class DmaEngine
     std::uint64_t stallCycles() const { return _stallCycles; }
     stats::Group &stats() { return _stats; }
 
+    /** Bursts with a translation in flight (tests/diagnostics). */
+    std::size_t inflightBursts() const { return _burstBytesById.size(); }
+    /** Peak outstanding-burst count (tests/diagnostics). */
+    std::size_t burstPoolHighWater() const
+    {
+        return _burstBytesById.highWater();
+    }
+
   private:
     void tryIssue();
     void onTranslation(const TranslationResponse &resp);
@@ -101,7 +109,8 @@ class DmaEngine
     Tick _blockedSince = 0;
     bool _issueScheduled = false;
     DoneCallback _done;
-    std::unordered_map<std::uint64_t, std::uint64_t> _burstBytesById;
+    /** Outstanding translation id -> burst length (pooled slots). */
+    FlatMap64<std::uint64_t> _burstBytesById;
     std::uint64_t _nextId = 0;
 
     IssueHook _hook;
@@ -110,6 +119,10 @@ class DmaEngine
     std::uint64_t _bytes = 0;
     std::uint64_t _stallCycles = 0;
     stats::Group _stats;
+    /** Cached counters: the issue loop runs every cycle, so no
+     *  per-call string-keyed stats lookups on the hot path. */
+    stats::Scalar &_sTranslationsIssued;
+    stats::Scalar &_sStallCycles;
 };
 
 } // namespace neummu

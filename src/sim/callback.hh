@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Small-buffer-optimized callback for the simulation kernel. Every
+ * scheduled event stores one of these; the simulator's hot paths
+ * (DMA issue loop, walk completions, PRMB drains) capture only a
+ * component pointer plus a few words of state, so steady-state
+ * scheduling never touches the heap. Captures larger than the inline
+ * buffer still work -- they transparently fall back to a heap
+ * allocation -- but the cycle-level components are written to stay
+ * under the limit.
+ */
+
+#ifndef NEUMMU_SIM_CALLBACK_HH
+#define NEUMMU_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace neummu {
+
+/**
+ * Move-only void() callable with inline storage for captures up to
+ * inlineBytes. Invoking an empty callback is undefined; the
+ * EventQueue never stores empty callbacks.
+ */
+class EventCallback
+{
+  public:
+    /**
+     * Inline capture capacity. Sized for the simulator's largest hot
+     * callback (a component pointer plus a TranslationResponse) with
+     * room to spare; bump deliberately if a hot path ever outgrows
+     * it, and let cold paths spill to the heap.
+     */
+    static constexpr std::size_t inlineBytes = 48;
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F &&f) // NOLINT: implicit, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            new (_buf) Fn(std::forward<F>(f));
+            _ops = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(_buf) =
+                new Fn(std::forward<F>(f));
+            _ops = &heapOps<Fn>;
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept
+    {
+        moveFrom(std::move(other));
+    }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    void operator()() { _ops->invoke(_buf); }
+
+    explicit operator bool() const { return _ops != nullptr; }
+
+    /** True when a callable of type Fn is stored without allocating. */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *buf);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *buf);
+    };
+
+    template <typename Fn> static const Ops inlineOps;
+    template <typename Fn> static const Ops heapOps;
+
+    void
+    moveFrom(EventCallback &&other) noexcept
+    {
+        _ops = other._ops;
+        if (_ops)
+            _ops->relocate(_buf, other._buf);
+        other._ops = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (_ops) {
+            _ops->destroy(_buf);
+            _ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char _buf[inlineBytes];
+    const Ops *_ops = nullptr;
+};
+
+template <typename Fn>
+const EventCallback::Ops EventCallback::inlineOps = {
+    [](void *buf) {
+        (*std::launder(reinterpret_cast<Fn *>(buf)))();
+    },
+    [](void *dst, void *src) {
+        Fn *from = std::launder(reinterpret_cast<Fn *>(src));
+        new (dst) Fn(std::move(*from));
+        from->~Fn();
+    },
+    [](void *buf) {
+        std::launder(reinterpret_cast<Fn *>(buf))->~Fn();
+    },
+};
+
+template <typename Fn>
+const EventCallback::Ops EventCallback::heapOps = {
+    [](void *buf) { (**reinterpret_cast<Fn **>(buf))(); },
+    [](void *dst, void *src) {
+        *reinterpret_cast<Fn **>(dst) =
+            *reinterpret_cast<Fn **>(src);
+    },
+    [](void *buf) { delete *reinterpret_cast<Fn **>(buf); },
+};
+
+} // namespace neummu
+
+#endif // NEUMMU_SIM_CALLBACK_HH

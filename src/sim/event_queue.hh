@@ -3,33 +3,56 @@
  * Discrete-event simulation kernel. All cycle-level components in the
  * simulator (DMA engine, MMU, memory) schedule callbacks on a shared
  * EventQueue; one tick equals one NPU clock cycle (1 GHz, Table I).
+ *
+ * The queue is a bucketed calendar: a near-term ring of per-tick
+ * buckets covering the next nearWindowTicks cycles, plus a far-term
+ * binary heap for events beyond the window. Steady-state scheduling
+ * (walk completions, burst launches, PRMB drains -- all within a few
+ * hundred cycles) is a ring append with no heap allocation: the
+ * callback type is small-buffer optimized (sim/callback.hh) and the
+ * bucket vectors retain their capacity across reuse. Far events
+ * migrate into the ring as the window advances; when the ring drains
+ * entirely (e.g. a multi-thousand-cycle page-fault gap), the cursor
+ * jumps straight to the next far event instead of scanning the gap.
  */
 
 #ifndef NEUMMU_SIM_EVENT_QUEUE_HH
 #define NEUMMU_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <limits>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "sim/callback.hh"
 
 namespace neummu {
 
 /**
  * A time-ordered queue of callbacks. Events scheduled for the same
  * tick execute in (priority, insertion-order) order, which keeps the
- * simulation deterministic.
+ * simulation deterministic -- including events scheduled for the
+ * current tick while it is being dispatched, and a lower-priority
+ * value scheduled mid-tick preempting already-pending same-tick work.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
     /** Default event priority. Lower values execute first. */
     static constexpr int defaultPriority = 0;
+
+    /**
+     * Width of the near-term calendar window, in ticks (power of
+     * two). Events within now() + nearWindowTicks take the ring fast
+     * path; anything farther goes to the far-term heap.
+     */
+    static constexpr Tick nearWindowTicks = 1024;
+
+    EventQueue();
 
     /** Current simulated time. */
     Tick now() const { return _now; }
@@ -38,12 +61,8 @@ class EventQueue
      * Schedule @p cb to run at absolute time @p when.
      * @pre when >= now()
      */
-    void
-    schedule(Tick when, Callback cb, int priority = defaultPriority)
-    {
-        NEUMMU_ASSERT(when >= _now, "scheduling into the past");
-        _events.push(Event{when, priority, _nextSeq++, std::move(cb)});
-    }
+    void schedule(Tick when, Callback cb,
+                  int priority = defaultPriority);
 
     /** Schedule @p cb to run @p delta ticks from now. */
     void
@@ -52,30 +71,62 @@ class EventQueue
         schedule(_now + delta, std::move(cb), priority);
     }
 
-    bool empty() const { return _events.empty(); }
-    std::size_t size() const { return _events.size(); }
+    bool empty() const { return _pending == 0; }
+    std::size_t size() const { return _pending; }
 
     /** Time of the next pending event; maxTick when empty. */
-    Tick
-    nextEventTick() const
-    {
-        return _events.empty() ? maxTick : _events.top().when;
-    }
+    Tick nextEventTick() const;
 
     /** Execute exactly one event (the earliest); returns false if idle. */
     bool step();
 
     /**
      * Run until the queue drains or simulated time would exceed
-     * @p limit. Returns the final simulated time.
+     * @p limit. The limit is inclusive: an event scheduled exactly at
+     * @p limit executes; the first event strictly after it stays
+     * pending. Returns the final simulated time (which is <= limit,
+     * and less when the queue drained early -- now() is never
+     * advanced past the last executed event).
      */
     Tick run(Tick limit = maxTick);
 
     /** Total number of events executed (for simulator stats). */
     std::uint64_t eventsExecuted() const { return _executed; }
 
+    /** High-water mark of pending events (for simulator stats). */
+    std::uint64_t peakDepth() const { return _peakDepth; }
+
   private:
     struct Event
+    {
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    /**
+     * One tick's events. Because the ring covers exactly
+     * nearWindowTicks ticks and events are never scheduled into the
+     * past, all events in one bucket share one tick. Events append in
+     * seq order; dispatch consumes [head, events.size()). The vector
+     * is cleared (capacity retained) once fully consumed, so
+     * steady-state reuse never reallocates.
+     */
+    struct Bucket
+    {
+        std::vector<Event> events;
+        std::size_t head = 0;
+        /** Tick the pending events belong to (valid when non-empty). */
+        Tick when = 0;
+        /** Max priority appended since the last drain/sort. */
+        int maxPriority = std::numeric_limits<int>::min();
+        /** Remaining range is not (priority, seq)-sorted. */
+        bool needsSort = false;
+
+        bool hasPending() const { return !events.empty(); }
+    };
+
+    struct FarEvent
     {
         Tick when;
         int priority;
@@ -83,10 +134,11 @@ class EventQueue
         Callback cb;
     };
 
-    struct EventCompare
+    /** Min-heap order on (when, priority, seq). */
+    struct FarAfter
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const FarEvent &a, const FarEvent &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -96,10 +148,56 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, EventCompare> _events;
+    static constexpr Tick _mask = nearWindowTicks - 1;
+    static_assert((nearWindowTicks & _mask) == 0,
+                  "near window must be a power of two");
+
+    Bucket &bucketFor(Tick when) { return _buckets[when & _mask]; }
+    void appendToBucket(Tick when, int priority, std::uint64_t seq,
+                        Callback cb);
+    void migrateFarIntoWindow();
+    /**
+     * Earliest tick >= @p from with a pending ring event, via the
+     * occupancy bitmap (one lap max).
+     * @pre a pending ring event exists in [from, from + window)
+     */
+    Tick nextOccupiedTick(Tick from) const;
+    /**
+     * Advance the cursor to the earliest pending event's bucket
+     * (migrating far events as the window moves); false when idle or
+     * when that event lies strictly after @p limit. The cursor is
+     * only ever committed to a tick that is dispatched next, so
+     * outside of dispatch _cursor == _now and schedule() window
+     * arithmetic never sees a cursor ahead of time.
+     */
+    bool findNext(Tick limit);
+    /** Pop and execute the earliest event of the cursor's bucket. */
+    void dispatchOne();
+
+    std::vector<Bucket> _buckets;
+    /**
+     * One bit per bucket: set while the bucket has pending events,
+     * so gap traversal (sparse timelines, e.g. a blocked IOMMU
+     * waiting out a 400-cycle walk) skips 64 empty ticks per word
+     * instead of probing every bucket.
+     */
+    std::vector<std::uint64_t> _occupied;
+    /**
+     * Window start: all ring events lie in [_cursor, _cursor +
+     * nearWindowTicks), all far events at or beyond the window end.
+     * Never exceeds the earliest pending ring event's tick and never
+     * regresses, so bucket scans resume where they left off.
+     */
+    Tick _cursor = 0;
+    std::size_t _ringCount = 0;
+    /** Far-term overflow heap (std::push_heap/pop_heap on FarAfter). */
+    std::vector<FarEvent> _far;
+
     Tick _now = 0;
+    std::size_t _pending = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
+    std::uint64_t _peakDepth = 0;
 };
 
 } // namespace neummu

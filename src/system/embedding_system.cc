@@ -23,16 +23,13 @@ runEmbeddingInference(const EmbeddingModelSpec &spec, unsigned batch,
     return computeEmbeddingInference(spec, batch, policy, cfg);
 }
 
-DemandPagingResult
-runDemandPaging(const EmbeddingModelSpec &spec, unsigned batch,
-                PagingMmu mmu_kind, unsigned page_shift,
-                const EmbeddingSystemConfig &cfg, std::uint64_t seed)
+SystemConfig
+demandPagingSystemConfig(const EmbeddingModelSpec &spec,
+                         const EmbeddingSystemConfig &cfg,
+                         MmuKind mmu_kind, unsigned page_shift)
 {
     NEUMMU_ASSERT(mmu_kind != MmuKind::Custom,
                   "demand paging takes a named MMU design point");
-
-    // One gather device; the remote peers only appear as fault
-    // targets, so the machine is a single-NPU System.
     SystemConfig sys_cfg;
     sys_cfg.name = "paging";
     sys_cfg.mmuKind = mmu_kind;
@@ -43,18 +40,36 @@ runDemandPaging(const EmbeddingModelSpec &spec, unsigned batch,
     // lookup, burst-sized to cover a row.
     sys_cfg.dmaBurstBytes = std::max<std::uint64_t>(
         cfg.npu.dmaBurstBytes, spec.tables.front().rowBytes());
-    System system(sys_cfg);
+    return sys_cfg;
+}
 
+EmbeddingWorkloadConfig
+demandPagingWorkloadConfig(const EmbeddingModelSpec &spec,
+                           unsigned batch,
+                           const EmbeddingSystemConfig &cfg,
+                           std::uint64_t seed)
+{
     EmbeddingWorkloadConfig wl_cfg;
     wl_cfg.spec = spec;
     wl_cfg.batch = batch;
     wl_cfg.mode = EmbeddingWorkloadMode::DemandPaging;
     wl_cfg.cluster = cfg;
     wl_cfg.seed = seed;
+    return wl_cfg;
+}
 
+DemandPagingResult
+runDemandPaging(const EmbeddingModelSpec &spec, unsigned batch,
+                PagingMmu mmu_kind, unsigned page_shift,
+                const EmbeddingSystemConfig &cfg, std::uint64_t seed)
+{
+    System system(
+        demandPagingSystemConfig(spec, cfg, mmu_kind, page_shift));
     Scheduler scheduler(system);
     Workload &wl = scheduler.add(
-        std::make_unique<EmbeddingWorkload>(std::move(wl_cfg)), 0);
+        std::make_unique<EmbeddingWorkload>(
+            demandPagingWorkloadConfig(spec, batch, cfg, seed)),
+        0);
     scheduler.run();
     NEUMMU_ASSERT(wl.done(), "gather never completed");
     return static_cast<EmbeddingWorkload &>(wl).pagingResult();

@@ -54,6 +54,27 @@ DemandPagingResult runDemandPaging(const EmbeddingModelSpec &spec,
                                    const EmbeddingSystemConfig &cfg,
                                    std::uint64_t seed = 1);
 
+/**
+ * The single-NPU machine description every demand-paging gather runs
+ * on: one gather device (remote peers appear only as fault targets)
+ * with the DMA burst sized to cover a whole embedding row. Shared by
+ * runDemandPaging, bench_sim_throughput, and the golden-stats matrix
+ * so the three sites cannot drift apart; callers may override
+ * name/seed on the returned config.
+ */
+SystemConfig demandPagingSystemConfig(
+    const EmbeddingModelSpec &spec, const EmbeddingSystemConfig &cfg,
+    MmuKind mmu_kind, unsigned page_shift = smallPageShift);
+
+/**
+ * The matching traffic-source description: a DemandPaging-mode
+ * EmbeddingWorkload for @p batch samples on @p cfg's cluster.
+ * @p seed 0 derives the lookup stream from the SystemConfig seed.
+ */
+EmbeddingWorkloadConfig demandPagingWorkloadConfig(
+    const EmbeddingModelSpec &spec, unsigned batch,
+    const EmbeddingSystemConfig &cfg, std::uint64_t seed = 0);
+
 } // namespace neummu
 
 #endif // NEUMMU_SYSTEM_EMBEDDING_SYSTEM_HH

@@ -68,9 +68,11 @@ class Scheduler
 
     /**
      * Start all placed workloads and drain the event queue (up to
-     * @p limit ticks). Returns per-workload stats; allDone is false
-     * only if the queue drained (or the limit hit) with a workload
-     * still pending -- a workload bug or a too-small limit.
+     * @p limit ticks; the limit is inclusive, matching
+     * EventQueue::run -- an event at exactly @p limit executes).
+     * Returns per-workload stats; allDone is false only if the queue
+     * drained (or the limit hit) with a workload still pending -- a
+     * workload bug or a too-small limit.
      */
     SchedulerResult run(Tick limit = maxTick);
 

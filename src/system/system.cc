@@ -169,6 +169,12 @@ System::refreshSystemStats()
     stats::Scalar &events = sim.scalar("eventsExecuted");
     events.reset();
     events += double(_eq.eventsExecuted());
+    // Peak pending-event count: a kernel-implementation invariant
+    // (identical schedule/dispatch sequences give identical depths),
+    // so the golden-stats tests pin it across kernel rewrites.
+    stats::Scalar &peak = sim.scalar("peakQueueDepth");
+    peak.reset();
+    peak += double(_eq.peakDepth());
 }
 
 void

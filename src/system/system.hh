@@ -129,7 +129,8 @@ class System
     // --- Simulation ------------------------------------------------
     EventQueue &eventQueue() { return _eq; }
     Tick now() const { return _eq.now(); }
-    /** Drain the event queue (up to @p limit); returns final time. */
+    /** Drain the event queue (up to and including @p limit -- see
+     *  EventQueue::run); returns final time. */
     Tick run(Tick limit = maxTick);
 
     // --- Virtual memory --------------------------------------------

@@ -5,14 +5,20 @@
 namespace neummu {
 
 Tlb::Tlb(std::string name, TlbConfig cfg)
-    : _cfg(cfg), _stats(std::move(name))
+    : _cfg(cfg), _index(2 * cfg.entries), _stats(std::move(name)),
+      _sHits(_stats.scalar("hits")), _sMisses(_stats.scalar("misses")),
+      _sEvictions(_stats.scalar("evictions"))
 {
     NEUMMU_ASSERT(cfg.entries > 0, "TLB needs at least one entry");
     _waysPerSet = (cfg.ways == 0) ? cfg.entries : cfg.ways;
     NEUMMU_ASSERT(cfg.entries % _waysPerSet == 0,
                   "TLB entries must divide evenly into sets");
     _numSets = cfg.entries / _waysPerSet;
+    _slots.resize(cfg.entries);
     _sets.resize(_numSets);
+    _freeSlots.reserve(cfg.entries);
+    for (std::size_t i = 0; i < cfg.entries; i++)
+        _freeSlots.push_back(std::uint32_t(cfg.entries - 1 - i));
 }
 
 std::size_t
@@ -21,79 +27,121 @@ Tlb::setOf(Addr vpn) const
     return std::size_t(vpn % _numSets);
 }
 
+void
+Tlb::unlink(Set &set, std::uint32_t idx)
+{
+    Slot &s = _slots[idx];
+    if (s.prev != npos)
+        _slots[s.prev].next = s.next;
+    else
+        set.head = s.next;
+    if (s.next != npos)
+        _slots[s.next].prev = s.prev;
+    else
+        set.tail = s.prev;
+    s.prev = s.next = npos;
+    set.size--;
+}
+
+void
+Tlb::linkFront(Set &set, std::uint32_t idx)
+{
+    Slot &s = _slots[idx];
+    s.prev = npos;
+    s.next = set.head;
+    if (set.head != npos)
+        _slots[set.head].prev = idx;
+    set.head = idx;
+    if (set.tail == npos)
+        set.tail = idx;
+    set.size++;
+}
+
 bool
 Tlb::lookup(Addr vpn, Addr &pfn_out)
 {
-    Set &set = _sets[setOf(vpn)];
-    const auto it = set.index.find(vpn);
-    if (it == set.index.end()) {
+    const std::uint32_t *idx = _index.find(vpn);
+    if (!idx) {
         _misses++;
-        ++_stats.scalar("misses");
+        ++_sMisses;
         return false;
     }
     // Move to MRU position.
-    set.lru.splice(set.lru.begin(), set.lru, it->second);
-    pfn_out = it->second->pfn;
+    Set &set = _sets[setOf(vpn)];
+    if (set.head != *idx) {
+        unlink(set, *idx);
+        linkFront(set, *idx);
+    }
+    pfn_out = _slots[*idx].pfn;
     _hits++;
-    ++_stats.scalar("hits");
+    ++_sHits;
     return true;
 }
 
 bool
 Tlb::probe(Addr vpn) const
 {
-    const Set &set = _sets[setOf(vpn)];
-    return set.index.count(vpn) > 0;
+    return _index.contains(vpn);
 }
 
 void
 Tlb::insert(Addr vpn, Addr pfn)
 {
     Set &set = _sets[setOf(vpn)];
-    const auto it = set.index.find(vpn);
-    if (it != set.index.end()) {
-        it->second->pfn = pfn;
-        set.lru.splice(set.lru.begin(), set.lru, it->second);
+    if (const std::uint32_t *existing = _index.find(vpn)) {
+        _slots[*existing].pfn = pfn;
+        if (set.head != *existing) {
+            unlink(set, *existing);
+            linkFront(set, *existing);
+        }
         return;
     }
-    if (set.lru.size() >= _waysPerSet) {
-        // Evict true-LRU victim.
-        const EntryData &victim = set.lru.back();
-        set.index.erase(victim.vpn);
-        set.lru.pop_back();
-        ++_stats.scalar("evictions");
+    std::uint32_t idx;
+    if (set.size >= _waysPerSet) {
+        // Recycle the true-LRU victim's slot in place.
+        idx = set.tail;
+        unlink(set, idx);
+        _index.erase(_slots[idx].vpn);
+        ++_sEvictions;
+    } else {
+        idx = _freeSlots.back();
+        _freeSlots.pop_back();
     }
-    set.lru.push_front(EntryData{vpn, pfn});
-    set.index[vpn] = set.lru.begin();
+    _slots[idx].vpn = vpn;
+    _slots[idx].pfn = pfn;
+    linkFront(set, idx);
+    _index.insert(vpn, idx);
 }
 
 void
 Tlb::invalidate(Addr vpn)
 {
-    Set &set = _sets[setOf(vpn)];
-    const auto it = set.index.find(vpn);
-    if (it == set.index.end())
+    const std::uint32_t *idx = _index.find(vpn);
+    if (!idx)
         return;
-    set.lru.erase(it->second);
-    set.index.erase(it);
+    const std::uint32_t slot = *idx;
+    unlink(_sets[setOf(vpn)], slot);
+    _index.erase(vpn);
+    _freeSlots.push_back(slot);
 }
 
 void
 Tlb::flush()
 {
-    for (auto &set : _sets) {
-        set.lru.clear();
-        set.index.clear();
-    }
+    _index.clear();
+    for (Set &set : _sets)
+        set = Set{};
+    _freeSlots.clear();
+    for (std::size_t i = 0; i < _cfg.entries; i++)
+        _freeSlots.push_back(std::uint32_t(_cfg.entries - 1 - i));
+    for (Slot &s : _slots)
+        s = Slot{};
 }
 
 std::size_t
 Tlb::size() const
 {
-    std::size_t n = 0;
-    for (const auto &set : _sets)
-        n += set.lru.size();
-    return n;
+    return _index.size();
 }
 
 } // namespace neummu

@@ -9,11 +9,10 @@
 #define NEUMMU_TLB_TLB_HH
 
 #include <cstdint>
-#include <list>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -32,8 +31,10 @@ struct TlbConfig
 
 /**
  * Set-associative (or fully associative) VPN->PFN cache with true-LRU
- * replacement per set. Lookups and inserts are O(1) via a per-set
- * hash map over an intrusive recency list.
+ * replacement per set. Entries live in a fixed slot array linked into
+ * per-set intrusive recency lists and indexed by one open-addressing
+ * map, so lookups, inserts, and evictions are O(1) with zero heap
+ * traffic -- this sits on the per-request translation path.
  */
 class Tlb
 {
@@ -74,26 +75,45 @@ class Tlb
     }
 
   private:
-    struct EntryData
+    static constexpr std::uint32_t npos = ~std::uint32_t(0);
+
+    /** One cached translation, threaded into its set's LRU list. */
+    struct Slot
     {
-        Addr vpn;
-        Addr pfn;
+        Addr vpn = invalidAddr;
+        Addr pfn = invalidAddr;
+        std::uint32_t prev = npos;
+        std::uint32_t next = npos;
     };
 
     struct Set
     {
-        /** Most recent at front. */
-        std::list<EntryData> lru;
-        std::unordered_map<Addr, std::list<EntryData>::iterator> index;
+        /** Most recently used slot. */
+        std::uint32_t head = npos;
+        /** Least recently used slot (the eviction victim). */
+        std::uint32_t tail = npos;
+        std::size_t size = 0;
     };
 
     std::size_t setOf(Addr vpn) const;
+    void unlink(Set &set, std::uint32_t idx);
+    void linkFront(Set &set, std::uint32_t idx);
 
     TlbConfig _cfg;
     std::size_t _numSets;
     std::size_t _waysPerSet;
+    std::vector<Slot> _slots;
     std::vector<Set> _sets;
+    /** Unused slot indices (all sets draw from one slab). */
+    std::vector<std::uint32_t> _freeSlots;
+    /** VPN -> slot index across all sets. */
+    FlatMap64<std::uint32_t> _index;
     stats::Group _stats;
+    /** Cached counters: lookup() runs per request, so no per-call
+     *  string-keyed stats lookups on the hot path. */
+    stats::Scalar &_sHits;
+    stats::Scalar &_sMisses;
+    stats::Scalar &_sEvictions;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
 };

@@ -9,12 +9,16 @@
 #include <sstream>
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 #include "common/arg_parser.hh"
+#include "common/flat_map.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/stats_registry.hh"
 #include "common/units.hh"
+#include "sim/callback.hh"
 
 using namespace neummu;
 
@@ -335,4 +339,130 @@ TEST(ArgParser, GetListSplitsAndDropsEmptyPieces)
         args.getList("missing", "x;y");
     ASSERT_EQ(fallback.size(), 2u);
     EXPECT_EQ(fallback[1], "y");
+}
+
+// --- FlatMap64 (hot-path pooled hash map) ---------------------------
+
+TEST(FlatMap64, InsertFindEraseRoundTrip)
+{
+    FlatMap64<unsigned> map(16);
+    EXPECT_TRUE(map.empty());
+    EXPECT_FALSE(map.find(42));
+
+    auto [v, inserted] = map.insert(42, 7u);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(v, 7u);
+    auto [v2, again] = map.insert(42, 9u);
+    EXPECT_FALSE(again); // existing entry wins
+    EXPECT_EQ(v2, 7u);
+    v2 = 11u; // returned reference aliases the stored value
+    EXPECT_EQ(*map.find(42), 11u);
+
+    EXPECT_TRUE(map.erase(42));
+    EXPECT_FALSE(map.erase(42)); // double-free reports false
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.highWater(), 1u);
+}
+
+TEST(FlatMap64, SurvivesChurnAndGrowth)
+{
+    FlatMap64<std::uint64_t> map(16);
+    // Interleave inserts and erases across several growth rounds;
+    // mirror against a std::set-free reference computed analytically.
+    for (std::uint64_t round = 0; round < 4; round++) {
+        for (std::uint64_t k = 0; k < 200; k++)
+            map.insert(round * 1000 + k, k);
+        for (std::uint64_t k = 0; k < 200; k += 2)
+            EXPECT_TRUE(map.erase(round * 1000 + k));
+    }
+    EXPECT_EQ(map.size(), 4u * 100u);
+    // Peak: 300 carried over from earlier rounds + 200 fresh inserts
+    // before the last round's erases.
+    EXPECT_EQ(map.highWater(), 500u);
+    for (std::uint64_t round = 0; round < 4; round++) {
+        for (std::uint64_t k = 0; k < 200; k++) {
+            const std::uint64_t *v = map.find(round * 1000 + k);
+            if (k % 2 == 0) {
+                EXPECT_EQ(v, nullptr);
+            } else {
+                ASSERT_NE(v, nullptr);
+                EXPECT_EQ(*v, k);
+            }
+        }
+    }
+}
+
+TEST(FlatMap64, BackwardShiftKeepsCollidedChainsReachable)
+{
+    // Dense sequential keys collide heavily under the multiplicative
+    // hash's masked bits; erasing from chain heads must keep every
+    // follower findable (the backward-shift invariant).
+    FlatMap64<std::uint64_t> map(16);
+    for (std::uint64_t k = 0; k < 12; k++)
+        map.insert(k, k * 10);
+    for (std::uint64_t k = 0; k < 12; k += 3)
+        EXPECT_TRUE(map.erase(k));
+    for (std::uint64_t k = 0; k < 12; k++) {
+        const std::uint64_t *v = map.find(k);
+        if (k % 3 == 0) {
+            EXPECT_EQ(v, nullptr) << k;
+        } else {
+            ASSERT_NE(v, nullptr) << k;
+            EXPECT_EQ(*v, k * 10);
+        }
+    }
+}
+
+// --- EventCallback (small-buffer-optimized event closure) -----------
+
+TEST(EventCallback, InlineCaptureInvokesAndMoves)
+{
+    int hits = 0;
+    int *p = &hits;
+    EventCallback cb([p] { (*p)++; });
+    EventCallback moved = std::move(cb);
+    moved();
+    moved();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventCallback, OversizedCaptureFallsBackToHeap)
+{
+    // A capture bigger than the inline buffer must still work (cold
+    // paths may carry fat closures).
+    struct Fat
+    {
+        std::uint64_t payload[16];
+    };
+    static_assert(!EventCallback::fitsInline<Fat>(),
+                  "capture should exceed the inline buffer");
+    Fat fat{};
+    fat.payload[15] = 99;
+    std::uint64_t seen = 0;
+    EventCallback cb([fat, &seen] { seen = fat.payload[15]; });
+    EventCallback moved = std::move(cb);
+    moved();
+    EXPECT_EQ(seen, 99u);
+}
+
+TEST(EventCallback, DestroysCaptureExactlyOnce)
+{
+    struct Probe
+    {
+        int *count;
+        explicit Probe(int *c) : count(c) {}
+        Probe(const Probe &o) : count(o.count) {}
+        Probe(Probe &&o) noexcept : count(o.count) { o.count = nullptr; }
+        ~Probe()
+        {
+            if (count)
+                (*count)++;
+        }
+    };
+    int destroyed = 0;
+    {
+        EventCallback cb{[probe = Probe(&destroyed)] { (void)probe; }};
+        EventCallback moved = std::move(cb);
+    }
+    EXPECT_EQ(destroyed, 1);
 }

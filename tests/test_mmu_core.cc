@@ -271,6 +271,115 @@ TEST_F(MmuCoreTest, CountsAreConsistent)
     EXPECT_EQ(responses.size(), 32u);
 }
 
+// --- pool lifecycle -------------------------------------------------
+// The PTS scoreboard and in-flight-VPN table live in pooled
+// open-addressing slabs; these tests pin that every walk returns its
+// entries (no leak), no entry is released twice (the FlatMap erase
+// would return false and the live counts would underflow), and the
+// high-water marks stay bounded by the walker pool.
+
+TEST_F(MmuCoreTest, PoolsDrainAfterMergedTraffic)
+{
+    build(neuMmuConfig());
+    const unsigned pages = 16, per_page = 4;
+    std::uint64_t id = 0;
+    for (unsigned p = 0; p < pages; p++)
+        for (unsigned r = 0; r < per_page; r++)
+            ASSERT_TRUE(mmu->translate(base + p * 4096 + r * 64, id++));
+    EXPECT_EQ(mmu->ptsLiveEntries(), pages);
+    EXPECT_EQ(mmu->inflightLiveEntries(), pages);
+    eq.run();
+    EXPECT_EQ(responses.size(), std::size_t(pages) * per_page);
+    // Every scoreboard entry and walker came back.
+    EXPECT_EQ(mmu->ptsLiveEntries(), 0u);
+    EXPECT_EQ(mmu->inflightLiveEntries(), 0u);
+    EXPECT_EQ(mmu->busyWalkers(), 0u);
+    EXPECT_EQ(mmu->freeWalkers(), mmu->config().numPtws);
+    // High-water marks: one entry per concurrently walked page,
+    // never more than the walker pool.
+    EXPECT_EQ(mmu->ptsHighWater(), pages);
+    EXPECT_EQ(mmu->inflightHighWater(), pages);
+    EXPECT_LE(mmu->ptsHighWater(), mmu->config().numPtws);
+}
+
+TEST_F(MmuCoreTest, PoolsDrainAcrossBlockedPortRejections)
+{
+    MmuConfig cfg = neuMmuConfig();
+    cfg.numPtws = 2;
+    cfg.prmbSlots = 1;
+    build(cfg);
+    // Saturate both walkers and the PRMB, then bounce rejections off
+    // the blocked port: rejected issues must not leave entries
+    // behind.
+    ASSERT_TRUE(mmu->translate(base + 0 * 4096, 1));
+    ASSERT_TRUE(mmu->translate(base + 1 * 4096, 2));
+    ASSERT_TRUE(mmu->translate(base + 1 * 4096 + 64, 3)); // PRMB merge
+    EXPECT_FALSE(mmu->translate(base + 2 * 4096, 4));     // no walker
+    EXPECT_FALSE(mmu->translate(base + 1 * 4096 + 96, 5)); // PRMB full
+    EXPECT_EQ(mmu->counts().blockedIssues, 2u);
+    EXPECT_EQ(mmu->ptsLiveEntries(), 2u);
+    EXPECT_EQ(mmu->inflightLiveEntries(), 2u);
+    eq.run();
+    EXPECT_EQ(mmu->ptsLiveEntries(), 0u);
+    EXPECT_EQ(mmu->inflightLiveEntries(), 0u);
+    EXPECT_EQ(mmu->freeWalkers(), 2u);
+    EXPECT_EQ(mmu->ptsHighWater(), 2u);
+    // Retrying the rejected requests after the wake drains cleanly.
+    ASSERT_TRUE(mmu->translate(base + 2 * 4096, 4));
+    eq.run();
+    EXPECT_EQ(mmu->ptsLiveEntries(), 0u);
+    EXPECT_EQ(mmu->busyWalkers(), 0u);
+}
+
+TEST_F(MmuCoreTest, PoolsDrainAcrossDemandPagingFaults)
+{
+    MmuConfig cfg = neuMmuConfig();
+    cfg.numPtws = 4;
+    build(cfg, 1);
+    unsigned faults = 0;
+    mmu->setFaultHandler([&](Addr va, Tick now) -> Tick {
+        faults++;
+        pt.map(pageBase(va, smallPageShift),
+               node.allocate(4096, 4096), smallPageShift);
+        return now + 5000; // long residency gap (far-heap path)
+    });
+    // Fault on three distinct unmapped pages, with same-page merges
+    // riding each faulting walk.
+    std::uint64_t id = 0;
+    for (unsigned p = 0; p < 3; p++) {
+        const Addr va = base + (64 + p) * 4096;
+        ASSERT_TRUE(mmu->translate(va, id++));
+        ASSERT_TRUE(mmu->translate(va + 128, id++));
+    }
+    EXPECT_EQ(mmu->inflightLiveEntries(), 3u);
+    eq.run();
+    EXPECT_EQ(faults, 3u);
+    EXPECT_EQ(mmu->counts().faults, 3u);
+    EXPECT_EQ(responses.size(), 6u);
+    EXPECT_EQ(mmu->ptsLiveEntries(), 0u);
+    EXPECT_EQ(mmu->inflightLiveEntries(), 0u);
+    EXPECT_EQ(mmu->busyWalkers(), 0u);
+    EXPECT_EQ(mmu->freeWalkers(), 4u);
+    EXPECT_EQ(mmu->inflightHighWater(), 3u);
+}
+
+TEST_F(MmuCoreTest, RedundantWalksShareOneInflightEntry)
+{
+    // Baseline IOMMU: two walkers can walk the same VPN; the
+    // in-flight table must hold ONE entry with multiplicity two and
+    // release it exactly once per walk completion.
+    build(baselineIommuConfig());
+    ASSERT_TRUE(mmu->translate(base + 0, 1));
+    ASSERT_TRUE(mmu->translate(base + 64, 2));
+    EXPECT_EQ(mmu->busyWalkers(), 2u);
+    EXPECT_EQ(mmu->inflightLiveEntries(), 1u); // one VPN, count 2
+    eq.run();
+    EXPECT_EQ(mmu->counts().redundantWalks, 1u);
+    EXPECT_EQ(mmu->inflightLiveEntries(), 0u);
+    EXPECT_EQ(mmu->inflightHighWater(), 1u);
+    EXPECT_EQ(mmu->freeWalkers(), mmu->config().numPtws);
+}
+
 TEST_F(MmuCoreTest, LargePageMmuWalksThreeLevels)
 {
     // Separate setup: 2 MB mappings.
