@@ -9,15 +9,18 @@
 # Env:
 #   BUILD_DIR  build tree (default: build)
 #   BUILD_TYPE CMake build type (default: RelWithDebInfo)
+#   SANITIZE   1 builds and tests under ASan+UBSan (default: 0)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}"
+SANITIZE="${SANITIZE:-0}"
 
 cmake -B "$BUILD_DIR" -S . -DNEUMMU_WERROR=ON \
-      -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
+      -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+      -DNEUMMU_SANITIZE="$([[ "$SANITIZE" == 1 ]] && echo ON || echo OFF)"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # Every bench/bench_*.cc and examples/*.cc must have produced an
@@ -46,7 +49,11 @@ if [[ ! -x "$BUILD_DIR/test_golden_stats" ]]; then
        "the golden-stats regression gate cannot be skipped" >&2
   exit 1
 fi
-if ! ctest --test-dir "$BUILD_DIR" -N | grep -q test_golden_stats; then
+# grep (not grep -q): -q exits at the first match and, under
+# pipefail, a still-writing ctest then dies of SIGPIPE and fails the
+# whole pipeline; reading the stream to the end is race-free.
+if ! ctest --test-dir "$BUILD_DIR" -N | grep test_golden_stats \
+    > /dev/null; then
   echo "error: test_golden_stats is not registered with ctest" >&2
   exit 1
 fi
@@ -64,3 +71,19 @@ if [[ ! -s "$BENCH_JSON" ]]; then
   exit 1
 fi
 echo "throughput report: $BENCH_JSON"
+
+# Oversubscription smoke: the page-lifecycle engine (evict + shootdown
+# + refetch) must survive a real sweep end to end and serve its
+# counters through the JSON path.
+OVERSUB_JSON="$BUILD_DIR/BENCH_ext_oversubscription.json"
+"$BUILD_DIR/bench_ext_oversubscription" --batch=2 \
+    --json="$OVERSUB_JSON" > /dev/null
+if [[ ! -s "$OVERSUB_JSON" ]]; then
+  echo "error: bench_ext_oversubscription produced no JSON report" >&2
+  exit 1
+fi
+if ! grep -q '"evictions"' "$OVERSUB_JSON"; then
+  echo "error: oversubscription report carries no eviction counters" >&2
+  exit 1
+fi
+echo "oversubscription report: $OVERSUB_JSON"

@@ -14,13 +14,19 @@ TranslationPathCache::TranslationPathCache(std::size_t entries,
 }
 
 std::uint64_t
-TranslationPathCache::tagOf(Addr va)
+TranslationPathCache::tagOf(const std::array<unsigned, 3> &idx)
 {
     // Concatenated L4/L3/L2 indices (27 bits), as in Barr et al.'s
     // translation-path cache.
-    return (std::uint64_t(radixIndex(va, 4)) << 18) |
-           (std::uint64_t(radixIndex(va, 3)) << 9) |
-           std::uint64_t(radixIndex(va, 2));
+    return (std::uint64_t(idx[0]) << 18) |
+           (std::uint64_t(idx[1]) << 9) | std::uint64_t(idx[2]);
+}
+
+std::uint64_t
+TranslationPathCache::tagOf(Addr va)
+{
+    return tagOf({radixIndex(va, 4), radixIndex(va, 3),
+                  radixIndex(va, 2)});
 }
 
 unsigned
@@ -74,17 +80,32 @@ TranslationPathCache::update(Addr va, const WalkResult &walk)
         return;
     }
     if (_lru.size() >= _entries) {
-        const Entry &victim = _lru.back();
-        const std::uint64_t victim_tag =
-            (std::uint64_t(victim.idx[0]) << 18) |
-            (std::uint64_t(victim.idx[1]) << 9) |
-            std::uint64_t(victim.idx[2]);
-        _index.erase(victim_tag);
+        _index.erase(tagOf(_lru.back().idx));
         _lru.pop_back();
     }
     _lru.push_front(Entry{{radixIndex(va, 4), radixIndex(va, 3),
                            radixIndex(va, 2)}});
     _index[tag] = _lru.begin();
+}
+
+void
+TranslationPathCache::invalidate(Addr va, unsigned match_levels)
+{
+    const std::array<unsigned, 3> want{radixIndex(va, 4),
+                                       radixIndex(va, 3),
+                                       radixIndex(va, 2)};
+    const unsigned levels = match_levels < 3 ? match_levels : 3;
+    for (auto it = _lru.begin(); it != _lru.end();) {
+        unsigned m = 0;
+        while (m < levels && it->idx[m] == want[m])
+            m++;
+        if (m < levels) {
+            ++it;
+            continue;
+        }
+        _index.erase(tagOf(it->idx));
+        it = _lru.erase(it);
+    }
 }
 
 // --------------------------------------------------------------- UPTC
@@ -118,6 +139,29 @@ UnifiedPageTableCache::insert(Addr entry_pa)
     }
     _lru.push_front(entry_pa);
     _index[entry_pa] = _lru.begin();
+}
+
+void
+UnifiedPageTableCache::invalidateEntry(Addr entry_pa)
+{
+    const auto it = _index.find(entry_pa);
+    if (it == _index.end())
+        return;
+    _lru.erase(it->second);
+    _index.erase(it);
+}
+
+void
+UnifiedPageTableCache::invalidateNode(Addr node_pa)
+{
+    for (auto it = _lru.begin(); it != _lru.end();) {
+        if (pageBase(*it, smallPageShift) == node_pa) {
+            _index.erase(*it);
+            it = _lru.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
 unsigned

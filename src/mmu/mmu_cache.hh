@@ -74,6 +74,13 @@ class TranslationPathCache
     /** Insert/update the path of a completed walk. */
     void update(Addr va, const WalkResult &walk);
 
+    /**
+     * Shootdown: drop every entry whose leading @p match_levels
+     * indices equal @p va's (its skip chain runs through a reclaimed
+     * tree node). 0 matches vacuously and clears the whole cache.
+     */
+    void invalidate(Addr va, unsigned match_levels);
+
     const MmuCacheStats &stats() const { return _stats; }
     std::size_t size() const { return _lru.size(); }
 
@@ -84,6 +91,7 @@ class TranslationPathCache
     };
 
     static std::uint64_t tagOf(Addr va);
+    static std::uint64_t tagOf(const std::array<unsigned, 3> &idx);
 
     std::size_t _entries;
     MmuCacheReplacement _repl;
@@ -110,6 +118,15 @@ class UnifiedPageTableCache
 
     /** Cache the upper-level entries touched by a completed walk. */
     void update(const WalkResult &walk, unsigned max_cacheable);
+
+    /** Shootdown: drop the cached PTE at @p entry_pa (if present). */
+    void invalidateEntry(Addr entry_pa);
+
+    /**
+     * Shootdown: drop every cached PTE living inside the (reclaimed)
+     * page-table node frame at @p node_pa.
+     */
+    void invalidateNode(Addr node_pa);
 
     const MmuCacheStats &stats() const { return _stats; }
     std::uint64_t entryLookups() const { return _entryLookups; }

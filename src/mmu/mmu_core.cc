@@ -85,6 +85,13 @@ MmuCore::refreshStats()
     set("ptsLookups", _counts.ptsLookups);
     set("pathCacheConsults", _counts.pathCacheConsults);
     set("pathCacheSkippedLevels", _counts.pathCacheSkippedLevels);
+    // Coherence counters only exist in the dump when the lifecycle
+    // machinery is in play, keeping the legacy stats surface (and the
+    // golden-stats matrix) byte-identical with lifecycle off.
+    if (_lifecycle || _counts.shootdowns || _counts.squashedWalks) {
+        set("shootdowns", _counts.shootdowns);
+        set("squashedWalks", _counts.squashedWalks);
+    }
 }
 
 MmuCore::MmuCore(std::string name, EventQueue &eq, PageTable &pt,
@@ -130,6 +137,85 @@ MmuCore::setFaultHandler(FaultHandler handler)
     _fault = std::move(handler);
 }
 
+void
+MmuCore::enableLifecycle()
+{
+    _lifecycle = true;
+}
+
+void
+MmuCore::setAccessHook(AccessHook hook)
+{
+    _access = std::move(hook);
+}
+
+bool
+MmuCore::vpnBusy(Addr vpn) const
+{
+    return _inflight.contains(vpn) || _pendingResp.contains(vpn);
+}
+
+void
+MmuCore::shootdown(Addr va, const UnmapResult &unmapped)
+{
+    _counts.shootdowns++;
+    if (_cfg.oracle)
+        return; // nothing cached, no in-flight walks
+    const Addr vpn = vpnOf(va);
+    _tlb.invalidate(vpn);
+
+    // Squash in-flight walks on this page: their parked (or pending)
+    // outcome predates the unmap, so finishWalk() retries instead of
+    // responding with a stale PA.
+    for (Walker &w : _walkers) {
+        if (w.busy && w.vpn == vpn && !w.squashed) {
+            w.squashed = true;
+            _counts.squashedWalks++;
+        }
+    }
+
+    // Virtually indexed path caches (TPreg/TPC) hold upper-level skip
+    // chains only; they go stale exactly when interior tree nodes
+    // were reclaimed under them.
+    if (unmapped.freedNodes > 0) {
+        for (Walker &w : _walkers)
+            w.tpreg.invalidate(va, unmapped.firstFreedStep);
+        if (_tpc)
+            _tpc->invalidate(va, unmapped.firstFreedStep);
+    }
+
+    // The PA-tagged unified cache additionally holds the leaf PTE
+    // itself, entries living inside reclaimed node frames, and -- in
+    // the surviving parent node -- the entry that used to point at
+    // the shallowest reclaimed child (its cached PTE now references
+    // a recycled frame).
+    if (_uptc) {
+        if (unmapped.path.valid && unmapped.path.levels > 0) {
+            _uptc->invalidateEntry(
+                unmapped.path.entryPa[unmapped.path.levels - 1]);
+        }
+        for (unsigned i = 0; i < unmapped.freedNodes; i++)
+            _uptc->invalidateNode(unmapped.freedNodePa[i]);
+        if (unmapped.freedNodes > 0) {
+            _uptc->invalidateEntry(
+                unmapped.path.entryPa[unmapped.firstFreedStep - 1]);
+        }
+    }
+}
+
+void
+MmuCore::invalidate(Addr va)
+{
+    // Leaf-only shootdown: the engine-interface caller changed (or is
+    // about to change) the leaf mapping but reclaimed no interior
+    // nodes. Only the PA-tagged UPTC needs the current walk path (to
+    // drop its leaf PTE entry); skip the functional walk otherwise.
+    UnmapResult info;
+    if (_uptc)
+        info.path = _pt.walk(va);
+    shootdown(va, info);
+}
+
 const MmuCacheStats *
 MmuCore::sharedCacheStats() const
 {
@@ -153,6 +239,20 @@ MmuCore::respondAt(Tick when, const TranslationResponse &resp)
 {
     NEUMMU_ASSERT(_respond, "no response callback installed");
     _counts.responses++;
+    if (_lifecycle) {
+        // Track the delivery window so vpnBusy() keeps the paging
+        // engine from migrating a page whose (already translated)
+        // response is still on the wire.
+        _pendingResp.insert(vpnOf(resp.va), 0u).first++;
+        _eq.schedule(when, [this, resp] {
+            unsigned *pending = _pendingResp.find(vpnOf(resp.va));
+            NEUMMU_ASSERT(pending, "pending-response tracking lost");
+            if (--*pending == 0)
+                _pendingResp.erase(vpnOf(resp.va));
+            _respond(resp);
+        });
+        return;
+    }
     _eq.schedule(when, [this, resp] { _respond(resp); });
 }
 
@@ -160,6 +260,8 @@ bool
 MmuCore::translate(Addr va, std::uint64_t id)
 {
     _counts.requests++;
+    if (_access)
+        _access(va);
     const Tick now = _eq.now();
 
     if (_cfg.oracle) {
@@ -232,7 +334,6 @@ MmuCore::startWalk(unsigned walker_idx, Addr va, std::uint64_t id,
     Walker &w = _walkers[walker_idx];
     NEUMMU_ASSERT(!w.busy, "walker double allocation");
     const Addr vpn = vpnOf(va);
-    const Tick now = _eq.now();
 
     w.busy = true;
     w.vpn = vpn;
@@ -250,6 +351,14 @@ MmuCore::startWalk(unsigned walker_idx, Addr va, std::uint64_t id,
         _pts.insert(vpn, walker_idx);
 
     _counts.walks++;
+    launchWalk(walker_idx, va, true);
+}
+
+void
+MmuCore::launchWalk(unsigned walker_idx, Addr va, bool initial)
+{
+    Walker &w = _walkers[walker_idx];
+    const Tick now = _eq.now();
 
     WalkResult walk = _pt.walk(va);
     Tick ready = now;
@@ -268,9 +377,12 @@ MmuCore::startWalk(unsigned walker_idx, Addr va, std::uint64_t id,
     const unsigned accesses = walk.levels - skipped;
     _counts.walkMemAccesses += accesses;
 
-    // TLB-miss detection precedes the walk; the walk itself costs
-    // walkLatencyPerLevel per radix level actually read from memory.
-    const Tick start = std::max(now + _cfg.tlb.hitLatency, ready);
+    // TLB-miss detection precedes the initial walk; a shootdown retry
+    // restarts from the page-table root immediately. Either way the
+    // walk costs walkLatencyPerLevel per radix level actually read
+    // from memory.
+    const Tick start =
+        std::max(initial ? now + _cfg.tlb.hitLatency : now, ready);
     const Tick done = start + Tick(accesses) * _cfg.walkLatencyPerLevel;
 
     // The walk outcome parks in the walker (it is busy until the
@@ -330,6 +442,28 @@ MmuCore::finishWalk(unsigned walker_idx)
 {
     Walker &w = _walkers[walker_idx];
     NEUMMU_ASSERT(w.busy, "finishing an idle walker");
+
+    if (w.squashed) {
+        // A shootdown hit this page mid-walk: the parked outcome is
+        // stale. Retry the walk from the root (PTS entry and merged
+        // PRMB requests stay put, so the whole batch resolves against
+        // the page's current mapping). A squashed speculative walk
+        // whose page vanished is simply dropped -- nobody waits for
+        // it, and re-faulting it in would be pure waste.
+        w.squashed = false;
+        const bool was_prefetch = w.pending.empty();
+        const Addr va = was_prefetch ? (w.vpn << _cfg.pageShift)
+                                     : w.pending.front().va;
+        if (!was_prefetch || _pt.isMapped(va)) {
+            launchWalk(walker_idx, va, false);
+            return;
+        }
+        releaseWalker(walker_idx);
+        if (_wake)
+            _wake();
+        return;
+    }
+
     const WalkResult walk = w.walk;
     const Tick now = _eq.now();
     const Addr vpn = w.vpn;
@@ -350,6 +484,22 @@ MmuCore::finishWalk(unsigned walker_idx)
         when++;
     }
 
+    releaseWalker(walker_idx);
+
+    // Only demand walks trigger speculation; letting prefetch walks
+    // chain would sweep the whole mapped region unprompted.
+    if (!was_prefetch)
+        maybePrefetch(vpn);
+
+    if (_wake)
+        _wake();
+}
+
+void
+MmuCore::releaseWalker(unsigned walker_idx)
+{
+    Walker &w = _walkers[walker_idx];
+    const Addr vpn = w.vpn;
     w.busy = false;
     w.pending.clear();
     w.vpn = invalidAddr;
@@ -363,14 +513,6 @@ MmuCore::finishWalk(unsigned walker_idx)
     NEUMMU_ASSERT(inflight_count, "in-flight bookkeeping lost");
     if (--*inflight_count == 0)
         _inflight.erase(vpn);
-
-    // Only demand walks trigger speculation; letting prefetch walks
-    // chain would sweep the whole mapped region unprompted.
-    if (!was_prefetch)
-        maybePrefetch(vpn);
-
-    if (_wake)
-        _wake();
 }
 
 void

@@ -115,6 +115,13 @@ class MmuCore : public TranslationEngine
      */
     using FaultHandler = std::function<Tick(Addr va, Tick now)>;
 
+    /**
+     * Observation hook for the page-lifecycle machinery: fired for
+     * every translation request (hit or miss), so the paging engine
+     * can maintain access recency for its eviction policy.
+     */
+    using AccessHook = std::function<void(Addr va)>;
+
     MmuCore(std::string name, EventQueue &eq, PageTable &pt,
             MmuConfig cfg);
 
@@ -125,6 +132,43 @@ class MmuCore : public TranslationEngine
 
     /** Install the demand-paging handler (optional). */
     void setFaultHandler(FaultHandler handler);
+
+    // --- Page lifecycle / translation coherence --------------------
+    /**
+     * Turn on the lifecycle bookkeeping the paging engine needs:
+     * per-VPN tracking of scheduled-but-undelivered responses (so
+     * vpnBusy() covers the response-delivery window) and the access
+     * hook. Off by default -- the translate hot path then carries
+     * only a dead branch and the stats surface is unchanged.
+     */
+    void enableLifecycle();
+    void setAccessHook(AccessHook hook);
+
+    /**
+     * Shootdown for the page containing @p va after (or during) an
+     * unmap/migration described by @p unmapped: drops the TLB entry,
+     * scrubs TPreg/TPC/UPTC state made stale by reclaimed page-table
+     * nodes and the changed leaf PTE, and squashes in-flight walks on
+     * the page so they re-walk at completion instead of installing a
+     * stale PA.
+     */
+    void shootdown(Addr va, const UnmapResult &unmapped);
+
+    /**
+     * TranslationEngine-interface shootdown (router ports forward
+     * here): leaf-only coherence -- the caller did not reclaim
+     * interior page-table nodes, or calls shootdown() itself with the
+     * UnmapResult when it did.
+     */
+    void invalidate(Addr va) override;
+
+    /**
+     * True while any translation activity on @p vpn is in flight: a
+     * walk (including a squashed one being retried) or -- with
+     * lifecycle enabled -- a scheduled response not yet delivered.
+     * The paging engine refuses to evict busy pages.
+     */
+    bool vpnBusy(Addr vpn) const;
 
     const MmuConfig &config() const { return _cfg; }
     Tlb &tlb() { return _tlb; }
@@ -165,6 +209,12 @@ class MmuCore : public TranslationEngine
     struct Walker
     {
         bool busy = false;
+        /**
+         * A shootdown hit this walk's page mid-flight: the parked
+         * outcome is stale and finishWalk() retries the walk instead
+         * of completing it.
+         */
+        bool squashed = false;
         Addr vpn = invalidAddr;
         /**
          * Requests served by this walk: initiator first. Empty for
@@ -186,7 +236,9 @@ class MmuCore : public TranslationEngine
     void respondAt(Tick when, const TranslationResponse &resp);
     void startWalk(unsigned walker_idx, Addr va, std::uint64_t id,
                    bool is_prefetch = false);
+    void launchWalk(unsigned walker_idx, Addr va, bool initial);
     void finishWalk(unsigned walker_idx);
+    void releaseWalker(unsigned walker_idx);
     void maybePrefetch(Addr vpn);
     unsigned consultPathCache(Walker &w, Addr va, const WalkResult &walk);
     void updatePathCache(Walker &w, Addr va, const WalkResult &walk);
@@ -210,6 +262,11 @@ class MmuCore : public TranslationEngine
     ResponseCallback _respond;
     WakeCallback _wake;
     FaultHandler _fault;
+    AccessHook _access;
+    /** Lifecycle bookkeeping enabled (see enableLifecycle()). */
+    bool _lifecycle = false;
+    /** VPN -> scheduled-but-undelivered responses (lifecycle only). */
+    FlatMap64<unsigned> _pendingResp;
     MmuCounts _counts;
     TpReg::MatchStats _tpregStats;
     stats::Group _stats;

@@ -21,6 +21,19 @@ TpReg::match(Addr va, unsigned max_skippable, MatchStats &stats) const
 }
 
 void
+TpReg::invalidate(Addr va, unsigned match_levels)
+{
+    if (!_valid)
+        return;
+    const unsigned levels = match_levels < 3 ? match_levels : 3;
+    for (unsigned i = 0; i < levels; i++) {
+        if (radixIndex(va, pageTableLevels - i) != _idx[i])
+            return;
+    }
+    _valid = false;
+}
+
+void
 TpReg::update(Addr va, const WalkResult &walk)
 {
     // Only latch successful walks that reached a leaf; partial walks

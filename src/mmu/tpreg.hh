@@ -43,6 +43,14 @@ class TpReg
     /** Latch the path of a completed walk. */
     void update(Addr va, const WalkResult &walk);
 
+    /**
+     * Shootdown: drop the latched path when its leading
+     * @p match_levels indices (L4 first) equal @p va's -- i.e., when
+     * the register's skip chain runs through a reclaimed tree node.
+     * @p match_levels 0 matches vacuously and always clears.
+     */
+    void invalidate(Addr va, unsigned match_levels);
+
     bool valid() const { return _valid; }
 
     /** Estimated storage: 3 x 9-bit tags + 3 node pointers < 16 B. */

@@ -70,6 +70,10 @@ struct MmuCounts
     std::uint64_t pathCacheConsults = 0;
     /** Page-table levels skipped thanks to TPreg / MMU cache. */
     std::uint64_t pathCacheSkippedLevels = 0;
+    /** Translation shootdowns received (unmap/migration coherence). */
+    std::uint64_t shootdowns = 0;
+    /** In-flight walks squashed by a shootdown and retried. */
+    std::uint64_t squashedWalks = 0;
 };
 
 /**
@@ -97,6 +101,14 @@ class TranslationEngine
 
     /** Register the capacity-freed callback. */
     virtual void setWakeCallback(WakeCallback cb) = 0;
+
+    /**
+     * Shoot down any cached or in-flight translation state for the
+     * page containing @p va (the mapping changed or is about to).
+     * Engines with no cached state ignore it; router ports forward it
+     * to the shared engine so any client can request invalidation.
+     */
+    virtual void invalidate(Addr va) { (void)va; }
 
     /** Activity counters. */
     virtual const MmuCounts &counts() const = 0;

@@ -43,6 +43,15 @@ class TranslationRouter::Port : public TranslationEngine
         _wake = std::move(cb);
     }
 
+    void
+    invalidate(Addr va) override
+    {
+        // Shootdowns are coherence traffic, not per-client capacity:
+        // forward straight to the shared engine so one tenant's
+        // unmap/migration invalidates the state every client shares.
+        _router._engine.invalidate(va);
+    }
+
     const MmuCounts &counts() const override { return _counts; }
 
   private:

@@ -90,6 +90,16 @@ System::System(SystemConfig cfg)
         _npus.push_back(std::move(npu));
     }
 
+    // The paging engine comes last: it needs the memory nodes built,
+    // and it installs itself as the MMU's fault handler.
+    if (_cfg.paging.enabled) {
+        NEUMMU_ASSERT(_cfg.paging.homeNode < _cfg.numNpus,
+                      "paging home node out of range");
+        _paging = std::make_unique<PagingEngine>(*this, _cfg.paging);
+        _stats.add(_paging->stats());
+        _stats.add(_paging->linkStats());
+    }
+
     // System-level counters live in a registry-owned group so they
     // appear in the same dump as the components'.
     _stats.group(prefixed(_cfg.name, "sim"));
@@ -158,10 +168,19 @@ System::pipeline(unsigned npu)
     return *npuAt(npu).pipeline;
 }
 
+PagingEngine &
+System::pagingEngine()
+{
+    NEUMMU_ASSERT(_paging, "paging engine is disabled on this system");
+    return *_paging;
+}
+
 void
 System::refreshSystemStats()
 {
     _mmu->refreshStats();
+    if (_paging)
+        _paging->refreshStats();
     stats::Group &sim = _stats.group(prefixed(_cfg.name, "sim"));
     stats::Scalar &ticks = sim.scalar("simTicks");
     ticks.reset();

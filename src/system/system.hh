@@ -33,6 +33,7 @@
 #include "npu/npu_config.hh"
 #include "npu/tile_pipeline.hh"
 #include "sim/event_queue.hh"
+#include "system/paging_engine.hh"
 #include "vm/address_space.hh"
 #include "vm/frame_allocator.hh"
 #include "vm/page_table.hh"
@@ -92,6 +93,17 @@ struct SystemConfig
     std::uint64_t hostDramBytes = 32 * GiB;
     /** Per-NPU HBM capacity backing the tensors. */
     std::uint64_t npuHbmBytes = 64 * GiB;
+
+    // --- Page lifecycle / oversubscription -------------------------
+    /**
+     * Demand-paging / eviction engine. Disabled (the default) keeps
+     * mappings immutable after setup, exactly the legacy behavior;
+     * enabled, the System owns a PagingEngine that services faults
+     * with timed evict+fetch and system-wide shootdown. The
+     * residentLimitBytes knob below the workload footprint is how
+     * oversubscription scenarios are built.
+     */
+    PagingConfig paging{};
 
     // --- Page table / VA layout ------------------------------------
     /** Page size of the translation stream (12 or 21). */
@@ -154,6 +166,11 @@ class System
     DmaEngine &dma(unsigned npu = 0);
     TilePipeline &pipeline(unsigned npu = 0);
 
+    // --- Page lifecycle --------------------------------------------
+    bool hasPagingEngine() const { return _paging != nullptr; }
+    /** @pre hasPagingEngine() */
+    PagingEngine &pagingEngine();
+
     // --- Statistics ------------------------------------------------
     /** Every component's counters, registered at construction. */
     stats::StatsRegistry &statsRegistry() { return _stats; }
@@ -182,6 +199,7 @@ class System
     AddressSpace _vas;
     std::unique_ptr<MmuCore> _mmu;
     std::unique_ptr<TranslationRouter> _router;
+    std::unique_ptr<PagingEngine> _paging;
     std::unique_ptr<FrameAllocator> _sharedHbm;
     std::unique_ptr<MemoryModel> _sharedMem;
     std::vector<Npu> _npus;

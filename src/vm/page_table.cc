@@ -21,6 +21,8 @@ struct PageTable::Entry
 struct PageTable::Node
 {
     Addr pa = invalidAddr;
+    /** Valid entries; an interior node is reclaimed when this hits 0. */
+    unsigned live = 0;
     std::array<Entry, 512> entries;
 };
 
@@ -70,6 +72,7 @@ PageTable::map(Addr va, Addr pa, unsigned page_shift)
             e.valid = true;
             e.leaf = false;
             e.child = std::unique_ptr<Node>(allocNode());
+            node->live++;
         }
         node = e.child.get();
     }
@@ -79,26 +82,61 @@ PageTable::map(Addr va, Addr pa, unsigned page_shift)
     leaf.valid = true;
     leaf.leaf = true;
     leaf.frame = pa;
+    node->live++;
     _mappedPages++;
 }
 
-void
+UnmapResult
 PageTable::unmap(Addr va)
 {
+    UnmapResult res;
+    res.path = walk(va);
+    if (!res.path.valid)
+        return res;
+    res.unmapped = true;
+    res.pageShift = res.path.pageShift;
+    res.frame = res.path.pa & ~pageOffsetMask(res.path.pageShift);
+
+    // Re-descend recording the node chain so empty interiors can be
+    // reclaimed bottom-up once the leaf is gone.
+    std::array<Node *, pageTableLevels> chain{};
+    std::array<unsigned, pageTableLevels> idx{};
     Node *node = _root.get();
+    unsigned depth = 0;
     for (unsigned level = pageTableLevels; level >= 1; level--) {
-        Entry &e = node->entries[radixIndex(va, level)];
-        if (!e.valid)
-            return;
-        if (e.leaf) {
-            e.valid = false;
-            e.leaf = false;
-            e.frame = invalidAddr;
-            _mappedPages--;
-            return;
-        }
+        const unsigned i = radixIndex(va, level);
+        chain[depth] = node;
+        idx[depth] = i;
+        depth++;
+        Entry &e = node->entries[i];
+        if (e.leaf)
+            break;
         node = e.child.get();
     }
+
+    Entry &leaf = chain[depth - 1]->entries[idx[depth - 1]];
+    NEUMMU_ASSERT(leaf.valid && leaf.leaf, "unmap lost the leaf");
+    leaf.valid = false;
+    leaf.leaf = false;
+    leaf.frame = invalidAddr;
+    chain[depth - 1]->live--;
+    _mappedPages--;
+
+    // Reclaim emptied interior nodes (never the root): free the
+    // backing frame and drop the parent's entry.
+    for (unsigned step = depth - 1; step >= 1; step--) {
+        Node *n = chain[step];
+        if (n->live != 0)
+            break;
+        res.freedNodePa[res.freedNodes++] = n->pa;
+        res.firstFreedStep = step;
+        _alloc.free(n->pa, pageSize(smallPageShift));
+        Entry &parent = chain[step - 1]->entries[idx[step - 1]];
+        parent.child.reset();
+        parent.valid = false;
+        chain[step - 1]->live--;
+    }
+    return res;
 }
 
 WalkResult

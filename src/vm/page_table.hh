@@ -47,9 +47,38 @@ struct WalkResult
 };
 
 /**
+ * Outcome of one unmap(): what the caller needs to recycle the leaf
+ * frame and to shoot stale state out of every translation structure
+ * (TLB, TPreg/TPC, the PA-tagged UPTC) coherently.
+ */
+struct UnmapResult
+{
+    /** True when a mapping was actually removed. */
+    bool unmapped = false;
+    /** Physical frame base the leaf pointed at (caller reclaims it). */
+    Addr frame = invalidAddr;
+    /** Granularity of the removed mapping (12 or 21). */
+    unsigned pageShift = smallPageShift;
+    /** Pre-unmap translation path (entry/node PAs of every level). */
+    WalkResult path;
+    /** Interior tree nodes reclaimed because they became empty. */
+    unsigned freedNodes = 0;
+    /** Physical bases of the reclaimed nodes (deepest first). */
+    std::array<Addr, pageTableLevels> freedNodePa{};
+    /**
+     * Walk step (0 = root) of the shallowest reclaimed node; paths
+     * sharing the VA prefix above this depth now dangle in
+     * virtually indexed path caches. Meaningful when freedNodes > 0.
+     */
+    unsigned firstFreedStep = 0;
+};
+
+/**
  * Functional radix page table. map()/unmap() maintain the tree;
  * walk() returns the full translation path so timing models (PTWs)
  * can charge per-level latency/energy and feed translation caches.
+ * unmap() reclaims interior nodes that become empty, returning their
+ * frames to the node allocator (the free-list recycling path).
  */
 class PageTable
 {
@@ -71,8 +100,13 @@ class PageTable
      */
     void map(Addr va, Addr pa, unsigned page_shift);
 
-    /** Remove the mapping covering @p va (no-op when unmapped). */
-    void unmap(Addr va);
+    /**
+     * Remove the mapping covering @p va (no-op when unmapped),
+     * reclaiming interior nodes that became empty. The result carries
+     * the pre-unmap walk path so callers can free the leaf frame and
+     * invalidate translation caches coherently.
+     */
+    UnmapResult unmap(Addr va);
 
     /** Translate @p va, reporting the full walk path. */
     WalkResult walk(Addr va) const;

@@ -184,7 +184,10 @@ EmbeddingWorkload::bindDemandPaging()
         generateLookups(_cfg.spec, unsigned(samples), rng);
 
     // Pre-map local tables' touched pages: device 0's own shard is
-    // resident by construction (no faults on local data).
+    // resident by construction (no faults on local data). Under a
+    // system PagingEngine the shard flows through installResident()
+    // so residency accounting covers it and oversubscription can
+    // evict it like everything else.
     for (const EmbeddingLookup &lu : lookups) {
         if (lu.table % _cfg.cluster.numNpus != 0)
             continue;
@@ -192,38 +195,48 @@ EmbeddingWorkload::bindDemandPaging()
         const Addr va = _tableSegs[lu.table].base +
                         lu.row * table.rowBytes();
         const Addr page = pageBase(va, page_shift);
-        if (!page_table.isMapped(page))
+        if (sys.hasPagingEngine()) {
+            sys.pagingEngine().installResident(page);
+        } else if (!page_table.isMapped(page)) {
             page_table.map(page, local_node.allocate(
                                      pageSize(page_shift),
                                      pageSize(page_shift)),
                            page_shift);
+        }
     }
 
-    _migrateLink =
-        std::make_unique<Link>("pcie", _cfg.cluster.pcie);
+    // With a system PagingEngine the remote pages fault through it
+    // (timed evict+fetch, shootdowns, paging.* stats); the legacy
+    // workload-owned handler below maps pages permanently and is kept
+    // for the paging-disabled configurations (golden-pinned).
+    if (!sys.hasPagingEngine()) {
+        _migrateLink =
+            std::make_unique<Link>("pcie", _cfg.cluster.pcie);
 
-    // Fault handler: migrate the whole page over the interconnect.
-    // In-flight migrations are deduplicated (a second fault on the
-    // same page waits for the first migration).
-    sys.mmu().setFaultHandler(
-        [this, &sys, &page_table, &local_node,
-         page_shift](Addr va, Tick now) -> Tick {
-            const Addr page = pageBase(va, page_shift);
-            const auto it = _migrating.find(page);
-            if (it != _migrating.end())
-                return it->second;
-            _paging.faults++;
-            _paging.migratedBytes += pageSize(page_shift);
-            page_table.map(page,
-                           local_node.allocate(pageSize(page_shift),
-                                               pageSize(page_shift)),
-                           page_shift);
-            const Tick ready = _migrateLink->transfer(
-                now + _cfg.cluster.faultHandlerLatency,
-                pageSize(page_shift));
-            _migrating.emplace(page, ready);
-            return ready;
-        });
+        // Fault handler: migrate the whole page over the
+        // interconnect. In-flight migrations are deduplicated (a
+        // second fault on the same page waits for the first
+        // migration).
+        sys.mmu().setFaultHandler(
+            [this, &sys, &page_table, &local_node,
+             page_shift](Addr va, Tick now) -> Tick {
+                const Addr page = pageBase(va, page_shift);
+                const auto it = _migrating.find(page);
+                if (it != _migrating.end())
+                    return it->second;
+                _paging.faults++;
+                _paging.migratedBytes += pageSize(page_shift);
+                page_table.map(page, local_node.allocate(
+                                         pageSize(page_shift),
+                                         pageSize(page_shift)),
+                               page_shift);
+                const Tick ready = _migrateLink->transfer(
+                    now + _cfg.cluster.faultHandlerLatency,
+                    pageSize(page_shift));
+                _migrating.emplace(page, ready);
+                return ready;
+            });
+    }
 
     // The gather engine: one embedding-row run per lookup, issued at
     // one translation per cycle through the DMA unit.
@@ -264,6 +277,14 @@ EmbeddingWorkload::onStart()
                 _cfg.spec, samples, _cfg.cluster);
             _paging.totalCycles = at + dense.total();
             _paging.mmu = system().mmu().counts();
+            if (system().hasPagingEngine()) {
+                // The engine serviced the faults; mirror its totals
+                // into the legacy result struct.
+                PagingEngine &pe = system().pagingEngine();
+                _paging.faults = pe.faults();
+                _paging.migratedBytes =
+                    pe.fetchedBytes() + pe.writebackBytes();
+            }
             stats::Group &g = stats();
             g.scalar("faults").set(double(_paging.faults));
             g.scalar("migratedBytes")

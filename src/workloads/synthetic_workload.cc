@@ -62,9 +62,18 @@ void
 SyntheticWorkload::onBind()
 {
     System &sys = system();
-    _segment = sys.addressSpace().allocateBacked(
-        name() + ".footprint", _cfg.footprintBytes,
-        sys.hbmNode(npuSlot()), sys.config().pageShift);
+    if (_cfg.demandPaged) {
+        NEUMMU_ASSERT(sys.hasPagingEngine(),
+                      "synthetic demandPaged needs "
+                      "SystemConfig.paging.enabled");
+        _segment = sys.addressSpace().allocateUnbacked(
+            name() + ".footprint", _cfg.footprintBytes,
+            sys.config().pageShift);
+    } else {
+        _segment = sys.addressSpace().allocateBacked(
+            name() + ".footprint", _cfg.footprintBytes,
+            sys.hbmNode(npuSlot()), sys.config().pageShift);
+    }
     _rng = Rng(_cfg.seed ? _cfg.seed : derivedSeed());
 
     stats::Group &g = stats();

@@ -74,6 +74,13 @@ struct SyntheticWorkloadConfig
     unsigned batchLength = 64;
     /** Idle cycles between batches (duty-cycle throttling). */
     Tick thinkCycles = 0;
+    /**
+     * Leave the footprint unbacked at bind time and demand-page it
+     * through the System's PagingEngine (which must be enabled).
+     * With the engine's residency cap below footprintBytes this is
+     * the oversubscribed steady-state evict/fetch scenario.
+     */
+    bool demandPaged = false;
     /** Stream seed; 0 derives from the SystemConfig seed. */
     std::uint64_t seed = 0;
 };

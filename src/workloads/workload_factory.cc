@@ -163,6 +163,8 @@ makeSynthetic(std::map<std::string, std::string> params)
     cfg.thinkCycles = takeUint(params, "think", cfg.thinkCycles);
     cfg.hotFraction = takeDouble(params, "hot", cfg.hotFraction);
     cfg.hotProbability = takeDouble(params, "phot", cfg.hotProbability);
+    cfg.demandPaged =
+        takeUint(params, "paged", cfg.demandPaged ? 1 : 0) != 0;
     cfg.seed = takeUint(params, "seed", cfg.seed);
     rejectLeftovers("synthetic", params);
     return std::make_unique<SyntheticWorkload>(std::move(cfg));
@@ -284,7 +286,7 @@ workloadFactoryHelp()
 {
     return "dense:model=CNN1,batch=1 | "
            "embedding:model=dlrm,mode=inference|paging | "
-           "synthetic:pattern=stride|uniform|hotset|chase | "
+           "synthetic:pattern=stride|uniform|hotset|chase[,paged=1] | "
            "trace:path=file.jsonl";
 }
 

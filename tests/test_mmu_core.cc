@@ -380,6 +380,230 @@ TEST_F(MmuCoreTest, RedundantWalksShareOneInflightEntry)
     EXPECT_EQ(mmu->freeWalkers(), mmu->config().numPtws);
 }
 
+// --- walk-vs-unmap races (shootdown protocol) -----------------------
+// A mapping removed while a walk for its page is in flight must never
+// let that walk install or return the stale PA: the shootdown marks
+// the walker squashed and finishWalk() retries against the current
+// page table (squash-or-retry, the subtle half of the coherence
+// protocol).
+
+TEST_F(MmuCoreTest, PrmbMergedRequestsSurviveMidWalkUnmap)
+{
+    build(neuMmuConfig());
+    const Addr va = base;
+    const Addr old_pa = pt.walk(va).pa;
+    // Initiator plus two PRMB merges on the same page.
+    ASSERT_TRUE(mmu->translate(va + 0x10, 1));
+    ASSERT_TRUE(mmu->translate(va + 0x20, 2));
+    ASSERT_TRUE(mmu->translate(va + 0x30, 3));
+    EXPECT_EQ(mmu->busyWalkers(), 1u);
+
+    // Let the walk get partway (completion is at 405), then migrate
+    // the page: unmap, shoot down, and remap to a fresh frame.
+    eq.run(200);
+    const UnmapResult um = pt.unmap(va);
+    ASSERT_TRUE(um.unmapped);
+    mmu->shootdown(va, um);
+    const Addr new_frame = node.allocate(4096, 4096);
+    pt.map(va, new_frame, smallPageShift);
+    ASSERT_NE(new_frame, old_pa & ~Addr(0xfff));
+
+    eq.run();
+    ASSERT_EQ(responses.size(), 3u);
+    for (const auto &[tick, resp] : responses) {
+        // Every merged request resolves to the page's current frame.
+        EXPECT_EQ(resp.pa, new_frame | (resp.va & 0xfff));
+    }
+    EXPECT_EQ(mmu->counts().shootdowns, 1u);
+    EXPECT_EQ(mmu->counts().squashedWalks, 1u);
+    EXPECT_EQ(mmu->counts().prmbMerges, 2u);
+    // The retried walk costs extra page-table reads, never a second
+    // logical walk.
+    EXPECT_EQ(mmu->counts().walks, 1u);
+    EXPECT_EQ(mmu->ptsLiveEntries(), 0u);
+    EXPECT_EQ(mmu->inflightLiveEntries(), 0u);
+    EXPECT_EQ(mmu->busyWalkers(), 0u);
+}
+
+TEST_F(MmuCoreTest, MidWalkUnmapFaultsBackInThroughTheHandler)
+{
+    build(neuMmuConfig());
+    const Addr va = base + 4096;
+    Addr refetched_frame = invalidAddr;
+    unsigned faults = 0;
+    mmu->setFaultHandler([&](Addr fva, Tick now) -> Tick {
+        faults++;
+        refetched_frame = node.allocate(4096, 4096);
+        pt.map(pageBase(fva, smallPageShift), refetched_frame,
+               smallPageShift);
+        return now + 500;
+    });
+    ASSERT_TRUE(mmu->translate(va + 8, 7));
+    eq.run(200);
+    // The page vanishes mid-walk and nobody remaps it: the squashed
+    // walk's retry takes the demand-paging path.
+    mmu->shootdown(va, pt.unmap(va));
+    eq.run();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(faults, 1u);
+    ASSERT_NE(refetched_frame, invalidAddr);
+    EXPECT_EQ(responses[0].second.pa, refetched_frame | 0x8u);
+    EXPECT_EQ(mmu->counts().squashedWalks, 1u);
+    EXPECT_EQ(mmu->counts().faults, 1u);
+}
+
+TEST_F(MmuCoreTest, RedundantWalksAreBothSquashedAndRetried)
+{
+    // Baseline IOMMU: two walkers redundantly walk the same VPN; the
+    // shootdown must squash both, and both retries must resolve to
+    // the new frame.
+    build(baselineIommuConfig());
+    const Addr va = base + 2 * 4096;
+    ASSERT_TRUE(mmu->translate(va + 4, 1));
+    ASSERT_TRUE(mmu->translate(va + 8, 2));
+    EXPECT_EQ(mmu->busyWalkers(), 2u);
+    EXPECT_EQ(mmu->counts().redundantWalks, 1u);
+
+    eq.run(100);
+    const UnmapResult um = pt.unmap(va);
+    mmu->shootdown(va, um);
+    const Addr new_frame = node.allocate(4096, 4096);
+    pt.map(va, new_frame, smallPageShift);
+
+    eq.run();
+    ASSERT_EQ(responses.size(), 2u);
+    for (const auto &[tick, resp] : responses)
+        EXPECT_EQ(resp.pa, new_frame | (resp.va & 0xfff));
+    EXPECT_EQ(mmu->counts().squashedWalks, 2u);
+    EXPECT_EQ(mmu->inflightLiveEntries(), 0u);
+    EXPECT_EQ(mmu->freeWalkers(), mmu->config().numPtws);
+}
+
+TEST_F(MmuCoreTest, ShootdownInvalidatesTlbEntry)
+{
+    build(baselineIommuConfig());
+    const Addr va = base + 3 * 4096;
+    ASSERT_TRUE(mmu->translate(va, 1));
+    eq.run();
+    EXPECT_TRUE(mmu->tlb().probe(va >> smallPageShift));
+
+    const UnmapResult um = pt.unmap(va);
+    mmu->shootdown(va, um);
+    EXPECT_FALSE(mmu->tlb().probe(va >> smallPageShift));
+    pt.map(va, node.allocate(4096, 4096), smallPageShift);
+
+    // The next access misses and re-walks against the new mapping.
+    ASSERT_TRUE(mmu->translate(va, 2));
+    eq.run();
+    EXPECT_EQ(mmu->counts().tlbMisses, 2u);
+    EXPECT_EQ(mmu->counts().walks, 2u);
+    EXPECT_EQ(responses[1].second.pa, pt.walk(va).pa);
+}
+
+TEST_F(MmuCoreTest, SquashedPrefetchWalkOfVanishedPageIsDropped)
+{
+    MmuConfig cfg = neuMmuConfig();
+    cfg.prefetchDepth = 1;
+    cfg.numPtws = 2;
+    cfg.pathCache = MmuCacheKind::None; // keep walk timing 4-level
+    build(cfg);
+    // The demand walk for page 0 completes at 405 and launches a
+    // speculative walk of page 1 (done at 810).
+    ASSERT_TRUE(mmu->translate(base, 1));
+    eq.run(600);
+    EXPECT_EQ(mmu->busyWalkers(), 1u);
+    EXPECT_EQ(mmu->counts().prefetchWalks, 1u);
+
+    // Page 1 vanishes mid-prefetch and nothing remaps it: the retry
+    // path drops the speculative walk instead of faulting it back in.
+    const Addr pf_page = base + 4096;
+    mmu->shootdown(pf_page, pt.unmap(pf_page));
+    eq.run();
+    EXPECT_EQ(mmu->counts().squashedWalks, 1u);
+    EXPECT_EQ(mmu->counts().faults, 0u);
+    EXPECT_EQ(mmu->busyWalkers(), 0u);
+    EXPECT_EQ(mmu->freeWalkers(), 2u);
+    EXPECT_EQ(mmu->inflightLiveEntries(), 0u);
+    EXPECT_EQ(responses.size(), 1u);
+    EXPECT_FALSE(mmu->tlb().probe(pf_page >> smallPageShift));
+}
+
+TEST_F(MmuCoreTest, LifecycleTracksResponseDeliveryWindow)
+{
+    build(baselineIommuConfig());
+    mmu->enableLifecycle();
+    const Addr va = base + 5 * 4096;
+    const Addr vpn = va >> smallPageShift;
+    // Fill the TLB, drain, then issue a hit: during the 5-cycle hit
+    // latency the VPN counts as busy so the paging engine will not
+    // migrate a page whose translated response is still on the wire.
+    ASSERT_TRUE(mmu->translate(va, 1));
+    eq.run();
+    EXPECT_FALSE(mmu->vpnBusy(vpn));
+    ASSERT_TRUE(mmu->translate(va, 2));
+    EXPECT_TRUE(mmu->vpnBusy(vpn));
+    eq.run();
+    EXPECT_FALSE(mmu->vpnBusy(vpn));
+    EXPECT_EQ(responses.size(), 2u);
+}
+
+TEST_F(MmuCoreTest, VpnBusyCoversInFlightWalks)
+{
+    build(neuMmuConfig());
+    const Addr va = base + 6 * 4096;
+    ASSERT_TRUE(mmu->translate(va, 1));
+    EXPECT_TRUE(mmu->vpnBusy(va >> smallPageShift));
+    EXPECT_FALSE(mmu->vpnBusy((base + 9 * 4096) >> smallPageShift));
+    eq.run();
+    EXPECT_FALSE(mmu->vpnBusy(va >> smallPageShift));
+}
+
+TEST_F(MmuCoreTest, ShootdownScrubsUptcParentSlotOfReclaimedSubtree)
+{
+    MmuConfig cfg = neuMmuConfig();
+    cfg.pathCache = MmuCacheKind::Uptc;
+    cfg.sharedCacheEntries = 64;
+    build(cfg);
+    // A page alone in its own L4 subtree: unmapping it reclaims the
+    // whole chain, and the surviving root slot's cached PTE points at
+    // a recycled frame.
+    const Addr lone = Addr(0x123) << 39;
+    pt.map(lone, node.allocate(4096, 4096), smallPageShift);
+    ASSERT_TRUE(mmu->translate(lone, 1));
+    eq.run();
+    EXPECT_EQ(mmu->counts().walkMemAccesses, 4u);
+
+    const UnmapResult um = pt.unmap(lone);
+    ASSERT_EQ(um.freedNodes, 3u);
+    mmu->shootdown(lone, um);
+    pt.map(lone, node.allocate(4096, 4096), smallPageShift);
+
+    // The rebuilt subtree shares no cached PTEs with the old one:
+    // the re-walk must read all four levels from memory (a stale
+    // root-slot entry would wrongly skip the top level).
+    ASSERT_TRUE(mmu->translate(lone, 2));
+    eq.run();
+    EXPECT_EQ(mmu->counts().walkMemAccesses, 8u);
+    EXPECT_EQ(responses[1].second.pa, pt.walk(lone).pa);
+}
+
+TEST_F(MmuCoreTest, DoubleShootdownSquashesOnce)
+{
+    build(neuMmuConfig());
+    const Addr va = base + 10 * 4096;
+    ASSERT_TRUE(mmu->translate(va, 1));
+    eq.run(100);
+    const UnmapResult um = pt.unmap(va);
+    mmu->shootdown(va, um);
+    mmu->shootdown(va, um); // e.g., two tenants racing on the page
+    pt.map(va, node.allocate(4096, 4096), smallPageShift);
+    eq.run();
+    EXPECT_EQ(mmu->counts().shootdowns, 2u);
+    EXPECT_EQ(mmu->counts().squashedWalks, 1u);
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].second.pa, pt.walk(va).pa);
+}
+
 TEST_F(MmuCoreTest, LargePageMmuWalksThreeLevels)
 {
     // Separate setup: 2 MB mappings.

@@ -76,6 +76,100 @@ TEST(Tlb, InvalidateAndFlush)
     EXPECT_EQ(tlb.size(), 0u);
 }
 
+// --- invalidate vs. the intrusive LRU chain ---------------------------
+// The slot-array rewrite threads every entry into a per-set intrusive
+// recency list; invalidate() must unlink cleanly from any position
+// (head/middle/tail) and leave the remaining chain evicting in true
+// LRU order. Insert order 1,2,3,4 makes 4 the MRU head and 1 the LRU
+// tail in a 4-entry fully associative TLB.
+
+TEST(Tlb, InvalidateLruHeadKeepsChainOrder)
+{
+    Tlb tlb("t", TlbConfig{4, 0, 1});
+    for (Addr v = 1; v <= 4; v++)
+        tlb.insert(v, v + 100);
+    tlb.invalidate(4); // MRU head
+    EXPECT_EQ(tlb.size(), 3u);
+    // The freed slot is reused without disturbing recency: 1 is
+    // still the oldest, then 2.
+    tlb.insert(5, 105);
+    tlb.insert(6, 106); // now full again: 6,5,3,2,1 minus head... 4 gone
+    EXPECT_FALSE(tlb.probe(1)); // evicted as true LRU
+    EXPECT_TRUE(tlb.probe(2));
+    EXPECT_TRUE(tlb.probe(3));
+    EXPECT_TRUE(tlb.probe(5));
+    EXPECT_TRUE(tlb.probe(6));
+}
+
+TEST(Tlb, InvalidateLruMiddleKeepsChainOrder)
+{
+    Tlb tlb("t", TlbConfig{4, 0, 1});
+    for (Addr v = 1; v <= 4; v++)
+        tlb.insert(v, v + 100);
+    tlb.invalidate(2); // middle of the chain
+    EXPECT_EQ(tlb.size(), 3u);
+    tlb.insert(5, 105); // refill the freed slot (no eviction)
+    EXPECT_EQ(tlb.size(), 4u);
+    tlb.insert(6, 106); // evicts true LRU = 1
+    EXPECT_FALSE(tlb.probe(1));
+    tlb.insert(7, 107); // evicts next LRU = 3 (2 is gone)
+    EXPECT_FALSE(tlb.probe(3));
+    EXPECT_TRUE(tlb.probe(4));
+    EXPECT_TRUE(tlb.probe(5));
+    EXPECT_TRUE(tlb.probe(6));
+    EXPECT_TRUE(tlb.probe(7));
+}
+
+TEST(Tlb, InvalidateLruTailKeepsChainOrder)
+{
+    Tlb tlb("t", TlbConfig{4, 0, 1});
+    for (Addr v = 1; v <= 4; v++)
+        tlb.insert(v, v + 100);
+    tlb.invalidate(1); // LRU tail
+    EXPECT_EQ(tlb.size(), 3u);
+    tlb.insert(5, 105);
+    tlb.insert(6, 106); // evicts the new tail = 2
+    EXPECT_FALSE(tlb.probe(2));
+    tlb.insert(7, 107); // then 3
+    EXPECT_FALSE(tlb.probe(3));
+    EXPECT_TRUE(tlb.probe(4));
+    EXPECT_TRUE(tlb.probe(5));
+    EXPECT_TRUE(tlb.probe(6));
+    EXPECT_TRUE(tlb.probe(7));
+}
+
+TEST(Tlb, InvalidateSingletonAndMissingVpn)
+{
+    Tlb tlb("t", TlbConfig{4, 0, 1});
+    tlb.invalidate(9); // absent: no-op
+    tlb.insert(9, 90);
+    tlb.invalidate(9); // head == tail case
+    EXPECT_EQ(tlb.size(), 0u);
+    // The set is fully usable again.
+    for (Addr v = 1; v <= 4; v++)
+        tlb.insert(v, v);
+    EXPECT_EQ(tlb.size(), 4u);
+    tlb.insert(5, 5);
+    EXPECT_FALSE(tlb.probe(1));
+    EXPECT_TRUE(tlb.probe(5));
+}
+
+TEST(Tlb, InvalidateInSetAssociativeGeometry)
+{
+    // 4 entries, 2 ways => 2 sets; even VPNs -> set 0.
+    Tlb tlb("t", TlbConfig{4, 2, 1});
+    tlb.insert(0, 1);
+    tlb.insert(2, 2);
+    tlb.invalidate(0);
+    tlb.insert(4, 3); // fits in the freed way: no eviction
+    EXPECT_TRUE(tlb.probe(2));
+    EXPECT_TRUE(tlb.probe(4));
+    tlb.insert(6, 4); // now evicts set 0's LRU = 2
+    EXPECT_FALSE(tlb.probe(2));
+    EXPECT_TRUE(tlb.probe(4));
+    EXPECT_TRUE(tlb.probe(6));
+}
+
 TEST(Tlb, ProbeDoesNotPerturbLruOrStats)
 {
     Tlb tlb("t", TlbConfig{2, 0, 1});

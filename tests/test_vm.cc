@@ -63,6 +63,124 @@ TEST(FrameAllocatorDeath, OversubscriptionIsFatal)
         "out of physical memory");
 }
 
+TEST(FrameAllocator, TryAllocateFailsNonFatally)
+{
+    FrameAllocator alloc("node", nodeBase, 64 * KiB);
+    Addr a = invalidAddr;
+    EXPECT_TRUE(alloc.tryAllocate(64 * KiB, 4096, a));
+    Addr b = invalidAddr;
+    EXPECT_FALSE(alloc.tryAllocate(4096, 4096, b));
+    EXPECT_FALSE(alloc.wouldFit(4096, 4096));
+}
+
+TEST(FrameAllocator, FreedFramesAreRecycled)
+{
+    FrameAllocator alloc("node", nodeBase, 64 * KiB);
+    const Addr a = alloc.allocate(4096, 4096);
+    const Addr b = alloc.allocate(4096, 4096);
+    alloc.allocate(56 * KiB, 4096); // node now full
+    EXPECT_FALSE(alloc.wouldFit(4096, 4096));
+
+    alloc.free(a, 4096);
+    EXPECT_EQ(alloc.freeListBytes(), 4096u);
+    EXPECT_EQ(alloc.used(), 60 * KiB);
+    EXPECT_TRUE(alloc.wouldFit(4096, 4096));
+    // First fit hands the freed frame back.
+    EXPECT_EQ(alloc.allocate(4096, 4096), a);
+    EXPECT_EQ(alloc.freeListBytes(), 0u);
+    (void)b;
+}
+
+TEST(FrameAllocator, FreeListCoalescesNeighbors)
+{
+    FrameAllocator alloc("node", nodeBase, 1 * MiB);
+    const Addr a = alloc.allocate(4096, 4096);
+    const Addr b = alloc.allocate(4096, 4096);
+    const Addr c = alloc.allocate(4096, 4096);
+    alloc.free(a, 4096);
+    alloc.free(c, 4096);
+    EXPECT_EQ(alloc.freeListBlocks(), 2u);
+    alloc.free(b, 4096); // bridges a and c into one block
+    EXPECT_EQ(alloc.freeListBlocks(), 1u);
+    EXPECT_EQ(alloc.freeListBytes(), 3 * 4096u);
+    // The coalesced block serves a larger aligned request in place.
+    EXPECT_EQ(alloc.allocate(8 * KiB, 8 * KiB), a);
+}
+
+TEST(FrameAllocator, SplitLeavesHeadAndTailFree)
+{
+    FrameAllocator alloc("node", nodeBase, 1 * MiB);
+    alloc.allocate(4096, 4096); // offset the hole off node alignment
+    const Addr a = alloc.allocate(60 * KiB, 4096);
+    alloc.allocate(4096, 4096); // plug so the hole is interior
+    alloc.free(a, 60 * KiB);
+    // Carve an aligned 4 KiB out of the middle of the hole: the
+    // block's start (base + 4 KiB) is not 32 KiB aligned, so the fit
+    // splits off both a head and a tail remainder.
+    Addr mid = invalidAddr;
+    ASSERT_TRUE(alloc.tryAllocate(4096, 32 * KiB, mid));
+    EXPECT_EQ(mid % (32 * KiB), 0u);
+    EXPECT_GT(mid, a);
+    EXPECT_EQ(alloc.freeListBytes(), 60 * KiB - 4096u);
+    EXPECT_EQ(alloc.freeListBlocks(), 2u);
+}
+
+TEST(FrameAllocator, AlignmentGapsLandOnTheFreeList)
+{
+    FrameAllocator alloc("node", nodeBase, 1 * MiB);
+    alloc.allocate(4096, 4096);
+    // The 2 MiB-aligned... (1 MiB node: use 64 KiB alignment) carve
+    // leaves the pad below it reusable instead of leaked.
+    const Addr big = alloc.allocate(4096, 64 * KiB);
+    EXPECT_EQ(big % (64 * KiB), 0u);
+    EXPECT_EQ(alloc.freeListBytes(), 64 * KiB - 4096u);
+    EXPECT_EQ(alloc.used(), 2 * 4096u);
+    // The gap serves later small allocations.
+    const Addr small = alloc.allocate(4096, 4096);
+    EXPECT_LT(small, big);
+}
+
+TEST(FrameAllocatorDeath, DoubleFreeIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            FrameAllocator inner("node", nodeBase, 64 * KiB);
+            const Addr a = inner.allocate(4096, 4096);
+            inner.free(a, 4096);
+            inner.free(a, 4096);
+        },
+        "double free");
+}
+
+TEST(FrameAllocator, AdversarialAlignmentCannotWrapTheCursor)
+{
+    // A node at the very top of the 64-bit address space: rounding
+    // the cursor up to a huge alignment overflows 2^64. The old bump
+    // arithmetic wrapped and "allocated" a bogus low address; the
+    // guarded path must report out-of-memory instead.
+    const std::uint64_t size = 1 * MiB;
+    const Addr top_base = ~Addr(0) - 2 * size + 1;
+    const Addr base = top_base & ~(Addr(1 * MiB) - 1); // aligned, near top
+    FrameAllocator alloc("top", base, size);
+    alloc.allocate(4096, 4096);
+    Addr out = invalidAddr;
+    const std::uint64_t huge_align = Addr(1) << 63;
+    EXPECT_FALSE(alloc.wouldFit(4096, huge_align));
+    EXPECT_FALSE(alloc.tryAllocate(4096, huge_align, out));
+    EXPECT_EQ(out, invalidAddr);
+    // Ordinary allocations still work fine up there.
+    EXPECT_TRUE(alloc.tryAllocate(4096, 4096, out));
+    EXPECT_TRUE(alloc.owns(out));
+}
+
+TEST(FrameAllocatorDeath, WrappingPhysicalRangeIsRejected)
+{
+    // base + size overflowing 2^64 would make every bounds check in
+    // the allocator meaningless; the constructor refuses it.
+    EXPECT_DEATH(FrameAllocator("wrap", ~Addr(0) - 4096, 2 * MiB),
+                 "wraps");
+}
+
 class PageTableTest : public ::testing::Test
 {
   protected:
@@ -146,7 +264,118 @@ TEST_F(PageTableTest, UnmapRemovesLeaf)
     pt.unmap(va);
     EXPECT_FALSE(pt.isMapped(va));
     EXPECT_EQ(pt.mappedPages(), 0u);
-    pt.unmap(va); // idempotent
+    EXPECT_FALSE(pt.unmap(va).unmapped); // idempotent
+}
+
+TEST_F(PageTableTest, UnmapReportsFrameAndPath)
+{
+    const Addr va = Addr(0x26) << 30;
+    const Addr frame = node.allocate(4096, 4096);
+    pt.map(va, frame, smallPageShift);
+    const WalkResult before = pt.walk(va);
+    const UnmapResult um = pt.unmap(va);
+    ASSERT_TRUE(um.unmapped);
+    EXPECT_EQ(um.frame, frame);
+    EXPECT_EQ(um.pageShift, smallPageShift);
+    ASSERT_TRUE(um.path.valid);
+    EXPECT_EQ(um.path.levels, 4u);
+    for (unsigned i = 0; i < 4; i++) {
+        EXPECT_EQ(um.path.entryPa[i], before.entryPa[i]);
+        EXPECT_EQ(um.path.nodePa[i], before.nodePa[i]);
+    }
+}
+
+TEST_F(PageTableTest, UnmapReclaimsEmptyInteriorNodes)
+{
+    const Addr va = Addr(0x28) << 30;
+    const std::uint64_t used_before = node.used();
+    pt.map(va, node.allocate(4096, 4096), smallPageShift);
+    // Lone mapping in its own L4 subtree: three interior nodes
+    // (L3/L2/L1 tables) plus the leaf frame were allocated.
+    EXPECT_EQ(node.used(), used_before + 4 * 4096);
+
+    const UnmapResult um = pt.unmap(va);
+    ASSERT_TRUE(um.unmapped);
+    EXPECT_EQ(um.freedNodes, 3u);
+    EXPECT_EQ(um.firstFreedStep, 1u); // everything below the root
+    // Deepest node (the L1 table) is reported first.
+    EXPECT_EQ(um.freedNodePa[0], um.path.nodePa[3]);
+    EXPECT_EQ(um.freedNodePa[1], um.path.nodePa[2]);
+    EXPECT_EQ(um.freedNodePa[2], um.path.nodePa[1]);
+    // The node frames went back to the allocator (the leaf frame is
+    // the caller's to free).
+    EXPECT_EQ(node.used(), used_before + 4096);
+    EXPECT_EQ(node.freeListBytes(), 3 * 4096u);
+
+    // Remapping rebuilds the subtree from recycled frames.
+    pt.map(va, um.frame, smallPageShift);
+    EXPECT_TRUE(pt.isMapped(va));
+    EXPECT_EQ(node.used(), used_before + 4 * 4096);
+}
+
+TEST_F(PageTableTest, UnmapKeepsSharedInteriorNodes)
+{
+    const Addr va = Addr(0x29) << 30;
+    pt.map(va, node.allocate(4096, 4096), smallPageShift);
+    pt.map(va + 4096, node.allocate(4096, 4096), smallPageShift);
+    // Siblings share L4..L1 nodes: removing one frees nothing.
+    const UnmapResult um = pt.unmap(va);
+    ASSERT_TRUE(um.unmapped);
+    EXPECT_EQ(um.freedNodes, 0u);
+    EXPECT_TRUE(pt.isMapped(va + 4096));
+    // Removing the last sibling collapses the subtree.
+    const UnmapResult um2 = pt.unmap(va + 4096);
+    EXPECT_EQ(um2.freedNodes, 3u);
+    EXPECT_FALSE(pt.isMapped(va + 4096));
+}
+
+TEST_F(PageTableTest, PartialReclaimStopsAtPopulatedLevels)
+{
+    // Two pages sharing L4/L3 but with distinct L2 entries: unmapping
+    // one reclaims its private L1 table only.
+    const Addr va = Addr(0x2a) << 30;
+    const Addr sib = va + (Addr(1) << 21); // next L2 entry
+    pt.map(va, node.allocate(4096, 4096), smallPageShift);
+    pt.map(sib, node.allocate(4096, 4096), smallPageShift);
+    const UnmapResult um = pt.unmap(va);
+    EXPECT_EQ(um.freedNodes, 1u);
+    EXPECT_EQ(um.firstFreedStep, 3u); // just the L1 table
+    EXPECT_EQ(um.freedNodePa[0], um.path.nodePa[3]);
+    EXPECT_TRUE(pt.isMapped(sib));
+}
+
+TEST_F(PageTableTest, LargePageUnmapReclaims)
+{
+    const Addr va = Addr(0x2b) << 30;
+    const Addr pa = node.allocate(2 * MiB, 2 * MiB);
+    pt.map(va, pa, largePageShift);
+    const UnmapResult um = pt.unmap(va + 0x12345);
+    ASSERT_TRUE(um.unmapped);
+    EXPECT_EQ(um.frame, pa);
+    EXPECT_EQ(um.pageShift, largePageShift);
+    EXPECT_EQ(um.freedNodes, 2u); // L3 and L2 tables
+    EXPECT_FALSE(pt.isMapped(va));
+}
+
+TEST_F(PageTableTest, ChurnReusesNodeFramesDeterministically)
+{
+    // Map/unmap churn across a scattered VA range must not grow the
+    // node allocator: every subtree's frames are recycled.
+    const std::uint64_t used_before = node.used();
+    for (unsigned round = 0; round < 8; round++) {
+        for (unsigned i = 0; i < 16; i++) {
+            const Addr va = (Addr(0x100 + i) << 30) | (Addr(round) << 21);
+            pt.map(va, node.allocate(4096, 4096), smallPageShift);
+        }
+        for (unsigned i = 0; i < 16; i++) {
+            const Addr va = (Addr(0x100 + i) << 30) | (Addr(round) << 21);
+            const UnmapResult um = pt.unmap(va);
+            ASSERT_TRUE(um.unmapped);
+            node.free(um.frame, 4096);
+        }
+    }
+    EXPECT_EQ(pt.mappedPages(), 0u);
+    EXPECT_EQ(node.used(), used_before);
 }
 
 TEST_F(PageTableTest, ManyMappingsAllResolve)
