@@ -10,6 +10,11 @@
  * steady state is evict + shootdown + refetch. Reported per design
  * point and residency ratio: slowdown vs. the uncapped run, faults,
  * evictions, shootdowns, and fault-stall cycles.
+ *
+ * Runs through the SweepEngine in two parallel phases (--jobs=N;
+ * 0 = hardware concurrency): the uncapped references first (the
+ * capped runs need their touched-page counts), then every capped
+ * cell, each on its own System.
  */
 
 #include <algorithm>
@@ -85,7 +90,70 @@ main(int argc, char **argv)
     const EvictionPolicy policy = evictionPolicyFromName(
         reporter.args().get("policy", "clock"));
     const std::vector<double> ratios = {1.0, 0.75, 0.5, 0.25};
-    const MmuKind kinds[] = {MmuKind::BaselineIommu, MmuKind::NeuMmu};
+    const std::vector<MmuKind> kinds = {MmuKind::BaselineIommu,
+                                        MmuKind::NeuMmu};
+
+    sweep::SweepOptions sweep_opts;
+    sweep_opts.threads =
+        unsigned(reporter.args().getInt("jobs", 0));
+
+    // Phase 1 (parallel): uncapped references. They count the
+    // touched pages and set the baseline cycle count the capped runs
+    // are normalized to.
+    std::vector<CellResult> refs(kinds.size());
+    {
+        std::vector<sweep::JobSpec> jobs(kinds.size());
+        for (std::size_t k = 0; k < kinds.size(); k++) {
+            jobs[k].id = "ref." + mmuKindName(kinds[k]);
+            jobs[k].runner = [&, k]() {
+                refs[k] = runCell(kinds[k], batch, policy, 0);
+                sweep::JobOutcome out;
+                out.totalCycles = refs[k].cycles;
+                return out;
+            };
+        }
+        for (const sweep::JobResult &job :
+             sweep::SweepEngine(sweep_opts).run(jobs).jobs)
+            if (!job.ok)
+                NEUMMU_FATAL("reference run '" + job.id +
+                             "' failed: " + job.error);
+    }
+
+    // Phase 2 (parallel): every capped (design, ratio < 1) cell. The
+    // paging engine's cap is soft (it overshoots rather than
+    // deadlock when every resident page has a walk in flight), so
+    // the sweep can push residency well below the machine's
+    // translation window.
+    std::vector<CellResult> capped(kinds.size() * ratios.size());
+    {
+        std::vector<sweep::JobSpec> jobs;
+        for (std::size_t k = 0; k < kinds.size(); k++) {
+            for (std::size_t r = 0; r < ratios.size(); r++) {
+                if (ratios[r] >= 1.0)
+                    continue;
+                const std::size_t idx = k * ratios.size() + r;
+                const std::uint64_t pages = std::max<std::uint64_t>(
+                    2, std::uint64_t(double(refs[k].residentPeak) *
+                                     ratios[r]));
+                sweep::JobSpec job;
+                job.id = mmuKindName(kinds[k]) + ".r" +
+                         std::to_string(int(ratios[r] * 100));
+                job.runner = [&, k, pages, idx]() {
+                    capped[idx] =
+                        runCell(kinds[k], batch, policy, pages);
+                    sweep::JobOutcome out;
+                    out.totalCycles = capped[idx].cycles;
+                    return out;
+                };
+                jobs.push_back(std::move(job));
+            }
+        }
+        for (const sweep::JobResult &job :
+             sweep::SweepEngine(sweep_opts).run(jobs).jobs)
+            if (!job.ok)
+                NEUMMU_FATAL("capped run '" + job.id +
+                             "' failed: " + job.error);
+    }
 
     std::printf("policy=%s batch=%u (ratio 1.0 = every touched page "
                 "stays resident)\n\n",
@@ -94,25 +162,15 @@ main(int argc, char **argv)
                 "ratio", "cycles", "slowdown", "faults", "evictions",
                 "shootdowns", "stallCycles");
 
-    for (const MmuKind kind : kinds) {
-        // Uncapped reference: counts the touched pages and sets the
-        // baseline cycle count the capped runs are normalized to.
-        const CellResult ref = runCell(kind, batch, policy, 0);
-
-        for (const double ratio : ratios) {
-            CellResult cell;
-            if (ratio >= 1.0) {
-                cell = ref;
-            } else {
-                // The engine's cap is soft (it overshoots rather
-                // than deadlock when every resident page has a walk
-                // in flight), so the sweep can push residency well
-                // below the machine's translation window.
-                const std::uint64_t pages = std::max<std::uint64_t>(
-                    2,
-                    std::uint64_t(double(ref.residentPeak) * ratio));
-                cell = runCell(kind, batch, policy, pages);
-            }
+    for (std::size_t k = 0; k < kinds.size(); k++) {
+        const MmuKind kind = kinds[k];
+        const CellResult &ref = refs[k];
+        for (std::size_t r = 0; r < ratios.size(); r++) {
+            const double ratio = ratios[r];
+            const CellResult &cell = ratio >= 1.0
+                                         ? ref
+                                         : capped[k * ratios.size() +
+                                                  r];
             const double slowdown =
                 double(cell.cycles) / double(ref.cycles);
             std::printf("%-10s %-7.2f %12llu %10.3f %8llu %10llu "

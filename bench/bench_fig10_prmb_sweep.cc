@@ -3,6 +3,11 @@
  * Fig. 10: performance sensitivity to the number of PRMB mergeable
  * slots (1..32) with the baseline 8 PTWs and 2048-entry TLB, across
  * the dense grid, normalized to the oracular MMU.
+ *
+ * The 108 (point, design) cells run through the SweepEngine
+ * (--jobs=N workers; 0 = hardware concurrency), one System per cell;
+ * rows stream in grid order and the numbers are byte-identical to a
+ * serial run.
  */
 
 #include <cstdio>

@@ -5,6 +5,13 @@
  * sweep entry point over a SystemConfig machine description, oracle
  * caching, and the Reporter that records every grid cell in a
  * StatsRegistry and serves the common --json=<path> output mode.
+ *
+ * runGrid executes through the SweepEngine (src/sweep/), so every
+ * grid bench is parallel by default: each cell builds its own System
+ * on a worker thread and the per-System determinism certified by the
+ * golden matrix makes the results identical to serial execution.
+ * Every bench accepts --jobs=N (0 = hardware concurrency, the
+ * default); rows still print live, in grid order.
  */
 
 #ifndef NEUMMU_BENCH_BENCH_UTIL_HH
@@ -21,6 +28,7 @@
 #include "common/arg_parser.hh"
 #include "common/stats_registry.hh"
 #include "driver/dense_experiment.hh"
+#include "sweep/sweep_engine.hh"
 #include "system/scheduler.hh"
 #include "workloads/models.hh"
 #include "workloads/workload_factory.hh"
@@ -255,40 +263,123 @@ using RowObserver = std::function<void(
 /**
  * The bench entry point: run every design point of @p designs over
  * @p grid on the machine described by @p base (workload and MMU
- * design point applied per cell), normalizing each cell to a cached
- * oracle run of the same machine. Cells are recorded into
- * @p reporter (when given) and @p on_row fires after each completed
- * grid point, in grid order, for live table output.
+ * design point applied per cell), normalizing each cell to an oracle
+ * run of the same machine. Cells are recorded into @p reporter (when
+ * given) and @p on_row fires after each completed grid point, in
+ * grid order, for live table output.
+ *
+ * Execution is parallel via the SweepEngine: first the per-point
+ * oracle references, then every (point, design) cell, each on its
+ * own System. @p jobs = 0 takes --jobs=N from @p reporter's command
+ * line, defaulting to hardware concurrency. Rows stream to @p on_row
+ * (and to @p reporter, preserving registration order) as soon as
+ * they and all preceding rows are complete, so output order is
+ * byte-identical to the old serial loop.
  */
 inline GridResults
 runGrid(const SystemConfig &base,
         const std::vector<DesignPoint> &designs,
         const std::vector<GridPoint> &grid = denseGrid(),
-        Reporter *reporter = nullptr, const RowObserver &on_row = {})
+        Reporter *reporter = nullptr, const RowObserver &on_row = {},
+        unsigned jobs = 0)
 {
-    DenseSweep sweep(grid);
-    sweep.baseConfig().system = base;
-    GridResults results;
-    for (const GridPoint &gp : grid) {
-        std::vector<GridCell> row;
-        row.reserve(designs.size());
-        for (const DesignPoint &design : designs) {
-            GridCell cell;
-            cell.point = gp;
-            cell.design = design.name;
-            cell.result = sweep.run(gp, design.mutate);
-            cell.oracleCycles = sweep.oracleCycles(gp);
-            cell.normalized = double(cell.oracleCycles) /
-                              double(cell.result.totalCycles);
-            if (reporter)
-                reporter->record(cell);
-            row.push_back(std::move(cell));
-        }
-        if (on_row)
-            on_row(gp, row);
-        for (GridCell &cell : row)
-            results.cells.push_back(std::move(cell));
+    if (grid.empty() || designs.empty())
+        return {};
+    if (jobs == 0 && reporter)
+        jobs = unsigned(reporter->args().getInt("jobs", 0));
+
+    auto fatalOnFailure = [](const sweep::SweepResults &run) {
+        for (const sweep::JobResult &job : run.jobs)
+            if (!job.ok)
+                NEUMMU_FATAL("grid cell '" + job.id +
+                             "' failed: " + job.error);
+    };
+
+    // Phase 1: oracle reference cycles, one job per grid point.
+    std::vector<sweep::JobSpec> oracle_jobs(grid.size());
+    for (std::size_t i = 0; i < grid.size(); i++) {
+        oracle_jobs[i].id = "oracle." + grid[i].key();
+        oracle_jobs[i].runner = [&base, &grid, i]() {
+            DenseExperimentConfig cfg;
+            cfg.workload = grid[i].workload;
+            cfg.batch = grid[i].batch;
+            cfg.system = base;
+            cfg.system.mmuKind = MmuKind::Oracle;
+            sweep::JobOutcome out;
+            out.totalCycles = runDenseExperiment(cfg).totalCycles;
+            return out;
+        };
     }
+    sweep::SweepOptions opts;
+    opts.threads = jobs;
+    const sweep::SweepResults oracle_run =
+        sweep::SweepEngine(opts).run(oracle_jobs);
+    fatalOnFailure(oracle_run);
+
+    // Phase 2: every (point, design) cell, streamed to the observer
+    // in grid order as rows complete. Each runner writes its own
+    // pre-sized slot; the progress hook runs under the engine lock.
+    const std::size_t num_designs = designs.size();
+    std::vector<DenseExperimentResult> cell_results(grid.size() *
+                                                    num_designs);
+    std::vector<sweep::JobSpec> cell_jobs(cell_results.size());
+    for (std::size_t row = 0; row < grid.size(); row++) {
+        for (std::size_t d = 0; d < num_designs; d++) {
+            const std::size_t idx = row * num_designs + d;
+            cell_jobs[idx].id =
+                designs[d].name + "." + grid[row].key();
+            cell_jobs[idx].runner = [&base, &grid, &designs,
+                                     &cell_results, row, d, idx]() {
+                DenseExperimentConfig cfg;
+                cfg.workload = grid[row].workload;
+                cfg.batch = grid[row].batch;
+                cfg.system = base;
+                designs[d].mutate(cfg);
+                cell_results[idx] = runDenseExperiment(cfg);
+                sweep::JobOutcome out;
+                out.totalCycles = cell_results[idx].totalCycles;
+                return out;
+            };
+        }
+    }
+
+    GridResults results;
+    results.cells.reserve(cell_jobs.size());
+    std::vector<std::size_t> remaining(grid.size(), num_designs);
+    std::size_t next_row = 0;
+    auto emitReadyRows = [&]() {
+        while (next_row < grid.size() && remaining[next_row] == 0) {
+            std::vector<GridCell> row;
+            row.reserve(num_designs);
+            for (std::size_t d = 0; d < num_designs; d++) {
+                GridCell cell;
+                cell.point = grid[next_row];
+                cell.design = designs[d].name;
+                cell.result =
+                    cell_results[next_row * num_designs + d];
+                cell.oracleCycles = Tick(
+                    oracle_run.jobs[next_row].outcome.totalCycles);
+                cell.normalized = double(cell.oracleCycles) /
+                                  double(cell.result.totalCycles);
+                if (reporter)
+                    reporter->record(cell);
+                row.push_back(std::move(cell));
+            }
+            if (on_row)
+                on_row(grid[next_row], row);
+            for (GridCell &cell : row)
+                results.cells.push_back(std::move(cell));
+            next_row++;
+        }
+    };
+    opts.progress = [&](unsigned, unsigned,
+                        const sweep::JobResult &job) {
+        if (!job.ok)
+            return; // reported after the run
+        remaining[job.index / num_designs]--;
+        emitReadyRows();
+    };
+    fatalOnFailure(sweep::SweepEngine(opts).run(cell_jobs));
     return results;
 }
 

@@ -23,13 +23,14 @@ cmake -B "$BUILD_DIR" -S . -DNEUMMU_WERROR=ON \
       -DNEUMMU_SANITIZE="$([[ "$SANITIZE" == 1 ]] && echo ON || echo OFF)"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-# Every bench/bench_*.cc and examples/*.cc must have produced an
-# executable; a silently dropped target (bad glob, renamed file,
-# dependency-gated bench) otherwise goes unnoticed until someone needs
-# the figure. bench_sim_throughput is self-timed (no google-benchmark
-# dependency), so it is required like everything else.
+# Every bench/bench_*.cc, tools/*.cc, and examples/*.cc must have
+# produced an executable; a silently dropped target (bad glob,
+# renamed file, dependency-gated bench) otherwise goes unnoticed
+# until someone needs the figure. bench_sim_throughput is self-timed
+# (no google-benchmark dependency), so it is required like everything
+# else.
 missing=0
-for src in bench/bench_*.cc examples/*.cc; do
+for src in bench/bench_*.cc tools/*.cc examples/*.cc; do
   target="$(basename "$src" .cc)"
   if [[ ! -x "$BUILD_DIR/$target" ]]; then
     echo "error: target $target (from $src) was not built" >&2
@@ -87,3 +88,68 @@ if ! grep -q '"evictions"' "$OVERSUB_JSON"; then
   exit 1
 fi
 echo "oversubscription report: $OVERSUB_JSON"
+
+# --- SweepEngine gates -------------------------------------------------
+# The sweep tool and its checked-in manifests are load-bearing: the
+# smoke manifest pins failure isolation, the golden-matrix manifest
+# pins parallel == serial byte-identity, and the merged JSON is the
+# scaling-trajectory artifact. A build where any of them silently
+# vanished must not pass.
+if [[ ! -x "$BUILD_DIR/neummu_sweep" ]]; then
+  echo "error: neummu_sweep was not built" >&2
+  exit 1
+fi
+for manifest in scripts/sweep_smoke.jsonl scripts/golden_matrix.jsonl; do
+  if [[ ! -f "$manifest" ]]; then
+    echo "error: sweep manifest $manifest is missing" >&2
+    exit 1
+  fi
+done
+
+# Failure-isolation smoke: the manifest contains one deliberately
+# broken job (bad_knob); the sweep must finish with exactly that one
+# failure reported in the merged output.
+SMOKE_JSON="$BUILD_DIR/BENCH_sweep_smoke.json"
+"$BUILD_DIR/neummu_sweep" --manifest=scripts/sweep_smoke.jsonl -j 2 \
+    --json="$SMOKE_JSON" > /dev/null
+if ! grep -q '"failures": 1' "$SMOKE_JSON"; then
+  echo "error: sweep smoke did not report exactly 1 failed job" >&2
+  exit 1
+fi
+if ! grep -q '"ok": false' "$SMOKE_JSON"; then
+  echo "error: sweep smoke lost the failed job's record" >&2
+  exit 1
+fi
+echo "sweep smoke report: $SMOKE_JSON"
+
+# Parallel golden matrix, CLI path: the 14-config matrix must merge
+# byte-identically whether run on 1 thread or N. (test_golden_stats
+# pins the same property in-process, plus each dump against its
+# golden file.)
+SWEEP_SERIAL="$BUILD_DIR/BENCH_sweep_golden_serial.json"
+SWEEP_PAR="$BUILD_DIR/BENCH_sweep_golden_par.json"
+"$BUILD_DIR/neummu_sweep" --manifest=scripts/golden_matrix.jsonl \
+    -j 1 --timing=0 --quiet=1 --strict=1 --json="$SWEEP_SERIAL" \
+    > /dev/null
+"$BUILD_DIR/neummu_sweep" --manifest=scripts/golden_matrix.jsonl \
+    -j "$(nproc)" --timing=0 --quiet=1 --strict=1 \
+    --json="$SWEEP_PAR" > /dev/null
+if ! cmp -s "$SWEEP_SERIAL" "$SWEEP_PAR"; then
+  echo "error: parallel golden-matrix sweep is not byte-identical" \
+       "to the serial run" >&2
+  exit 1
+fi
+
+# Scaling-trajectory point: the same matrix with reps lengthening
+# each job, serial baseline measured in-process, wall clock + speedup
+# recorded in the merged JSON. CI archives the file, so the artifact
+# series tracks how sweep throughput scales on CI hardware.
+SWEEP_JSON="$BUILD_DIR/BENCH_sweep.json"
+"$BUILD_DIR/neummu_sweep" --manifest=scripts/golden_matrix.jsonl \
+    -j "$(nproc)" --reps=5 --serial-baseline=1 --quiet=1 --strict=1 \
+    --json="$SWEEP_JSON"
+if ! grep -q '"speedup"' "$SWEEP_JSON"; then
+  echo "error: sweep report carries no serial-baseline speedup" >&2
+  exit 1
+fi
+echo "sweep scaling report: $SWEEP_JSON"

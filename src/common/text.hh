@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Small shared string helpers for the config-parsing surfaces (the
+ * workload factory's spec grammar and the sweep ConfigBinder), so
+ * case-folding rules cannot drift between them.
+ */
+
+#ifndef NEUMMU_COMMON_TEXT_HH
+#define NEUMMU_COMMON_TEXT_HH
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace neummu {
+
+/** ASCII-lowercased copy of @p s. */
+inline std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return char(std::tolower(c)); });
+    return out;
+}
+
+} // namespace neummu
+
+#endif // NEUMMU_COMMON_TEXT_HH

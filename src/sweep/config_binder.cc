@@ -1,0 +1,330 @@
+#include "sweep/config_binder.hh"
+
+#include <cstdlib>
+
+#include "common/text.hh"
+#include "system/embedding_system.hh"
+#include "workloads/models.hh"
+#include "workloads/workload_factory.hh"
+
+namespace neummu {
+namespace sweep {
+
+namespace {
+
+[[noreturn]] void
+badValue(const std::string &key, const std::string &value,
+         const std::string &expect)
+{
+    throw BindError("bad value '" + value + "' for sweep config key " +
+                    key + " (expected " + expect + ")");
+}
+
+/** Unsigned with optional K/M/G suffix (shared size grammar). */
+std::uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    try {
+        return parseSizeBytesChecked(value);
+    } catch (const WorkloadError &) {
+        badValue(key, value, "an unsigned integer, K/M/G suffix ok");
+    }
+}
+
+double
+parseF64(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        badValue(key, value, "a number");
+    return v;
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    const std::string v = lowered(value);
+    if (v == "1" || v == "true" || v == "on" || v == "yes")
+        return true;
+    if (v == "0" || v == "false" || v == "off" || v == "no")
+        return false;
+    badValue(key, value, "0|1");
+}
+
+MmuKind
+parseMmuKind(const std::string &key, const std::string &value)
+{
+    const std::string v = lowered(value);
+    if (v == "oracle")
+        return MmuKind::Oracle;
+    if (v == "baseline" || v == "iommu")
+        return MmuKind::BaselineIommu;
+    if (v == "neummu")
+        return MmuKind::NeuMmu;
+    if (v == "custom")
+        return MmuKind::Custom;
+    badValue(key, value, "oracle|baseline|neummu|custom");
+}
+
+MmuCacheKind
+parseCacheKind(const std::string &key, const std::string &value)
+{
+    const std::string v = lowered(value);
+    if (v == "none")
+        return MmuCacheKind::None;
+    if (v == "tpreg")
+        return MmuCacheKind::TpReg;
+    if (v == "tpc")
+        return MmuCacheKind::Tpc;
+    if (v == "uptc")
+        return MmuCacheKind::Uptc;
+    badValue(key, value, "none|tpreg|tpc|uptc");
+}
+
+EvictionPolicy
+parseEviction(const std::string &key, const std::string &value)
+{
+    const std::string v = lowered(value);
+    if (v == "clock")
+        return EvictionPolicy::Clock;
+    if (v == "lru")
+        return EvictionPolicy::Lru;
+    badValue(key, value, "clock|lru");
+}
+
+/**
+ * The editable MMU config: any mmu.* key first materializes the
+ * config the current kind resolves to and flips the kind to Custom,
+ * so "mmuKind=neummu mmu.numPtws=32" edits the canned NeuMMU point.
+ */
+MmuConfig &
+customMmu(SystemConfig &cfg)
+{
+    if (cfg.mmuKind != MmuKind::Custom) {
+        cfg.mmu = cfg.resolvedMmuConfig();
+        cfg.mmuKind = MmuKind::Custom;
+    }
+    return cfg.mmu;
+}
+
+/**
+ * preset=<name>: replace the whole machine with a canned scenario
+ * config, preserving name, seed, and mmuKind (the fields callers are
+ * documented to override on the canned configs).
+ */
+void
+applyPreset(SystemConfig &cfg, const std::string &value)
+{
+    const std::string v = lowered(value);
+    EmbeddingModelSpec spec;
+    if (v == "dlrm_paging")
+        spec = makeDlrm();
+    else if (v == "ncf_paging")
+        spec = makeNcf();
+    else
+        badValue("preset", value, "dlrm_paging|ncf_paging");
+    if (cfg.mmuKind == MmuKind::Custom)
+        throw BindError("preset=" + value + " needs a named mmuKind "
+                        "(set mmuKind=oracle|baseline|neummu first)");
+    const std::string name = cfg.name;
+    const std::uint64_t seed = cfg.seed;
+    cfg = demandPagingSystemConfig(spec, EmbeddingSystemConfig{},
+                                   cfg.mmuKind, cfg.pageShift);
+    cfg.name = name;
+    cfg.seed = seed;
+}
+
+} // namespace
+
+std::pair<std::string, std::string>
+parseOverride(const std::string &text)
+{
+    const std::size_t eq = text.find('=');
+    if (eq == std::string::npos || eq == 0)
+        throw BindError("override '" + text + "' is not key=value");
+    return {text.substr(0, eq), text.substr(eq + 1)};
+}
+
+void
+applyOverride(SystemConfig &cfg, const std::string &key,
+              const std::string &value)
+{
+    // --- System-level knobs ---------------------------------------
+    if (key == "name") {
+        cfg.name = value;
+    } else if (key == "seed") {
+        cfg.seed = parseU64(key, value);
+    } else if (key == "numNpus") {
+        cfg.numNpus = unsigned(parseU64(key, value));
+    } else if (key == "bufferDepth") {
+        cfg.bufferDepth = unsigned(parseU64(key, value));
+    } else if (key == "dmaBurstBytes") {
+        cfg.dmaBurstBytes = parseU64(key, value);
+    } else if (key == "mmuKind") {
+        cfg.mmuKind = parseMmuKind(key, value);
+    } else if (key == "routerPolicy") {
+        const std::string v = lowered(value);
+        if (v == "shared")
+            cfg.routerPolicy = RouterPolicy::Shared;
+        else if (v == "partitioned" || v == "part")
+            cfg.routerPolicy = RouterPolicy::Partitioned;
+        else
+            badValue(key, value, "shared|partitioned");
+    } else if (key == "sharedMemory") {
+        cfg.sharedMemory = parseBool(key, value);
+    } else if (key == "hostDramBytes") {
+        cfg.hostDramBytes = parseU64(key, value);
+    } else if (key == "npuHbmBytes") {
+        cfg.npuHbmBytes = parseU64(key, value);
+    } else if (key == "pageShift") {
+        cfg.pageShift = unsigned(parseU64(key, value));
+    } else if (key == "vaScatterShift") {
+        cfg.vaScatterShift = unsigned(parseU64(key, value));
+    } else if (key == "preset") {
+        applyPreset(cfg, value);
+
+        // --- NPU core -------------------------------------------------
+    } else if (key == "npu.dmaBurstBytes") {
+        cfg.npu.dmaBurstBytes = parseU64(key, value);
+    } else if (key == "npu.iaSpmBytes") {
+        cfg.npu.iaSpmBytes = parseU64(key, value);
+    } else if (key == "npu.wSpmBytes") {
+        cfg.npu.wSpmBytes = parseU64(key, value);
+
+        // --- Memory system --------------------------------------------
+    } else if (key == "memory.channels") {
+        cfg.memory.channels = unsigned(parseU64(key, value));
+    } else if (key == "memory.bytesPerCycle") {
+        cfg.memory.bytesPerCycle = parseF64(key, value);
+    } else if (key == "memory.accessLatency") {
+        cfg.memory.accessLatency = Tick(parseU64(key, value));
+    } else if (key == "memory.interleaveBytes") {
+        cfg.memory.interleaveBytes = unsigned(parseU64(key, value));
+
+        // --- MMU design point (materializes Custom, see customMmu) ----
+    } else if (key == "mmu.numPtws") {
+        customMmu(cfg).numPtws = unsigned(parseU64(key, value));
+    } else if (key == "mmu.prmbSlots") {
+        customMmu(cfg).prmbSlots = unsigned(parseU64(key, value));
+    } else if (key == "mmu.pathCache") {
+        customMmu(cfg).pathCache = parseCacheKind(key, value);
+    } else if (key == "mmu.sharedCacheEntries") {
+        customMmu(cfg).sharedCacheEntries =
+            std::size_t(parseU64(key, value));
+    } else if (key == "mmu.sharedCacheReplacement") {
+        const std::string v = lowered(value);
+        if (v == "lru")
+            customMmu(cfg).sharedCacheReplacement =
+                MmuCacheReplacement::Lru;
+        else if (v == "fifo")
+            customMmu(cfg).sharedCacheReplacement =
+                MmuCacheReplacement::Fifo;
+        else
+            badValue(key, value, "lru|fifo");
+    } else if (key == "mmu.walkLatencyPerLevel") {
+        customMmu(cfg).walkLatencyPerLevel = Tick(parseU64(key, value));
+    } else if (key == "mmu.prefetchDepth") {
+        customMmu(cfg).prefetchDepth = unsigned(parseU64(key, value));
+    } else if (key == "mmu.tlb.entries") {
+        customMmu(cfg).tlb.entries = std::size_t(parseU64(key, value));
+    } else if (key == "mmu.tlb.ways") {
+        customMmu(cfg).tlb.ways = std::size_t(parseU64(key, value));
+    } else if (key == "mmu.tlb.hitLatency") {
+        customMmu(cfg).tlb.hitLatency = Tick(parseU64(key, value));
+
+        // --- Page lifecycle / oversubscription ------------------------
+    } else if (key == "paging.enabled") {
+        cfg.paging.enabled = parseBool(key, value);
+    } else if (key == "paging.policy") {
+        cfg.paging.policy = parseEviction(key, value);
+    } else if (key == "paging.residentLimitBytes") {
+        cfg.paging.residentLimitBytes = parseU64(key, value);
+    } else if (key == "paging.residentLimitPages") {
+        cfg.paging.residentLimitBytes =
+            parseU64(key, value) * pageSize(cfg.pageShift);
+    } else if (key == "paging.faultLatency") {
+        cfg.paging.faultLatency = Tick(parseU64(key, value));
+    } else if (key == "paging.homeNode") {
+        cfg.paging.homeNode = unsigned(parseU64(key, value));
+    } else if (key == "paging.writebackOnEvict") {
+        cfg.paging.writebackOnEvict = parseBool(key, value);
+    } else {
+        throw BindError("unknown sweep config key '" + key +
+                        "' (see " + std::string("neummu_sweep") +
+                        " --list-keys for the key table)");
+    }
+}
+
+void
+applyOverrides(SystemConfig &cfg, const OverrideList &overrides)
+{
+    for (const auto &[key, value] : overrides)
+        applyOverride(cfg, key, value);
+}
+
+const std::vector<BinderKeyDoc> &
+binderKeyTable()
+{
+    static const std::vector<BinderKeyDoc> table{
+        {"name", "stats prefix of the built System"},
+        {"seed", "root random seed (per-workload streams derive)"},
+        {"numNpus", "NPU count; >1 shares the MMU via the router"},
+        {"bufferDepth", "tile-buffer depth (2 = double buffering)"},
+        {"dmaBurstBytes", "system-level DMA burst override (0 = npu)"},
+        {"mmuKind", "oracle|baseline|neummu|custom design point"},
+        {"routerPolicy", "shared|partitioned walker arbitration"},
+        {"sharedMemory", "0|1: all NPUs contend for one memory node"},
+        {"hostDramBytes", "host DRAM capacity (K/M/G ok)"},
+        {"npuHbmBytes", "per-NPU HBM capacity (K/M/G ok)"},
+        {"pageShift", "page size of the translation stream (12|21)"},
+        {"vaScatterShift", "VA-layout scatter shift (0 = packed)"},
+        {"preset", "dlrm_paging|ncf_paging canned machine "
+                   "(keeps name/seed/mmuKind; set mmuKind first)"},
+        {"npu.dmaBurstBytes", "per-NPU DMA burst size"},
+        {"npu.iaSpmBytes", "activation scratchpad capacity"},
+        {"npu.wSpmBytes", "weight scratchpad capacity"},
+        {"memory.channels", "independent memory channels"},
+        {"memory.bytesPerCycle", "aggregate memory bandwidth"},
+        {"memory.accessLatency", "fixed access latency (cycles)"},
+        {"memory.interleaveBytes", "channel interleave granularity"},
+        {"mmu.numPtws", "parallel page-table walkers (Custom-izes)"},
+        {"mmu.prmbSlots", "PRMB merge slots per PTW (0 = no PTS)"},
+        {"mmu.pathCache", "none|tpreg|tpc|uptc walker path cache"},
+        {"mmu.sharedCacheEntries", "Tpc/Uptc entry count"},
+        {"mmu.sharedCacheReplacement", "lru|fifo for Tpc/Uptc"},
+        {"mmu.walkLatencyPerLevel", "cycles per radix level walked"},
+        {"mmu.prefetchDepth", "sequential translation prefetch depth"},
+        {"mmu.tlb.entries", "IOTLB entries"},
+        {"mmu.tlb.ways", "IOTLB associativity (0 = full)"},
+        {"mmu.tlb.hitLatency", "IOTLB hit latency (cycles)"},
+        {"paging.enabled", "0|1: own a PagingEngine (page lifecycle)"},
+        {"paging.policy", "clock|lru victim selection"},
+        {"paging.residentLimitBytes", "residency cap in bytes (0=node)"},
+        {"paging.residentLimitPages", "residency cap in pages "
+                                      "(uses current pageShift)"},
+        {"paging.faultLatency", "OS fault-handling overhead (cycles)"},
+        {"paging.homeNode", "NPU slot whose node the engine manages"},
+        {"paging.writebackOnEvict", "0|1: charge write-back migration"},
+    };
+    return table;
+}
+
+std::string
+binderHelp()
+{
+    std::string out;
+    for (const BinderKeyDoc &doc : binderKeyTable()) {
+        out += "  ";
+        out += doc.key;
+        std::size_t pad = 28;
+        const std::size_t len = std::string(doc.key).size();
+        out.append(pad > len ? pad - len : 1, ' ');
+        out += doc.doc;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace sweep
+} // namespace neummu

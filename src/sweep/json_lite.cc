@@ -1,0 +1,288 @@
+#include "sweep/json_lite.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace neummu {
+namespace sweep {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[name, value] : members) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::number() const
+{
+    return std::strtod(text.c_str(), nullptr);
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _text(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipSpace();
+        if (_pos != _text.size())
+            fail("trailing junk after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " at offset %zu", _pos);
+        throw JsonError(what + buf);
+    }
+
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            _pos++;
+    }
+
+    char
+    peek()
+    {
+        if (_pos >= _text.size())
+            fail("unexpected end of JSON");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        _pos++;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        std::size_t len = 0;
+        while (word[len] != '\0')
+            len++;
+        if (_text.compare(_pos, len, word) != 0)
+            return false;
+        _pos += len;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        skipSpace();
+        const char c = peek();
+        JsonValue v;
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"':
+            v.kind = JsonValue::Kind::String;
+            v.text = string();
+            return v;
+          case 't':
+            if (!consumeWord("true"))
+                fail("bad literal");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+          case 'f':
+            if (!consumeWord("false"))
+                fail("bad literal");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            return v;
+          case 'n':
+            if (!consumeWord("null"))
+                fail("bad literal");
+            v.kind = JsonValue::Kind::Null;
+            return v;
+          default:
+            return numberToken();
+        }
+    }
+
+    JsonValue
+    numberToken()
+    {
+        const std::size_t start = _pos;
+        if (peek() == '-')
+            _pos++;
+        while (_pos < _text.size() &&
+               std::isdigit(static_cast<unsigned char>(_text[_pos])))
+            _pos++;
+        if (_pos == start || (_pos == start + 1 && _text[start] == '-'))
+            fail("malformed JSON value");
+        if (_pos < _text.size() && _text[_pos] == '.') {
+            _pos++;
+            while (_pos < _text.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(_text[_pos])))
+                _pos++;
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            _pos++;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-'))
+                _pos++;
+            const std::size_t exp_start = _pos;
+            while (_pos < _text.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(_text[_pos])))
+                _pos++;
+            if (_pos == exp_start)
+                fail("exponent with no digits");
+        }
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.text = _text.substr(start, _pos - start);
+        return v;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (_pos >= _text.size())
+                fail("unterminated string");
+            const char c = _text[_pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _text.size())
+                fail("unterminated escape");
+            const char esc = _text[_pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (_pos + 4 > _text.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; i++) {
+                    const char h = _text[_pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // UTF-8 encode (surrogate pairs are not recombined;
+                // manifests and stats dumps are ASCII in practice).
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xc0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3f));
+                } else {
+                    out += char(0xe0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3f));
+                    out += char(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipSpace();
+        if (peek() == ']') {
+            _pos++;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            skipSpace();
+            const char c = peek();
+            _pos++;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipSpace();
+        if (peek() == '}') {
+            _pos++;
+            return v;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key = string();
+            skipSpace();
+            expect(':');
+            v.members.emplace_back(std::move(key), value());
+            skipSpace();
+            const char c = peek();
+            _pos++;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    Parser parser(text);
+    return parser.document();
+}
+
+} // namespace sweep
+} // namespace neummu

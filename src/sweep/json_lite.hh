@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal JSON reader for the sweep subsystem: parses job manifests
+ * (JSONL) and re-reads the StatsRegistry dumps the ResultSink
+ * flattens into CSV. Self-contained (the repo bakes in no JSON
+ * dependency); supports the full value grammar with two deliberate
+ * representation choices:
+ *
+ * - object members keep INSERTION ORDER (manifest "set" overrides are
+ *   order-sensitive, and merged output must be byte-stable), and
+ * - numbers keep their RAW TOKEN TEXT, so a value that round-trips
+ *   through the parser serializes byte-identically (the parallel
+ *   golden matrix is compared byte-for-byte against the serial path).
+ */
+
+#ifndef NEUMMU_SWEEP_JSON_LITE_HH
+#define NEUMMU_SWEEP_JSON_LITE_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neummu {
+namespace sweep {
+
+/** Malformed JSON (with offset context in the message). */
+class JsonError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One parsed JSON value (tree). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    /** String: decoded text. Number: the raw token ("1e3", "-0.5"). */
+    std::string text;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member lookup (objects); nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Number as double. @pre isNumber() */
+    double number() const;
+};
+
+/** Parse one complete JSON document (junk after it is an error). */
+JsonValue parseJson(const std::string &text);
+
+} // namespace sweep
+} // namespace neummu
+
+#endif // NEUMMU_SWEEP_JSON_LITE_HH

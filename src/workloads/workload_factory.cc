@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/text.hh"
 #include "workloads/dense_dnn_workload.hh"
 #include "workloads/embedding_workload.hh"
 #include "workloads/models.hh"
@@ -16,11 +17,14 @@ namespace neummu {
 namespace {
 
 std::string
-lowered(const std::string &s)
+joined(const std::vector<std::string> &items, const char *sep)
 {
-    std::string out = s;
-    std::transform(out.begin(), out.end(), out.begin(),
-                   [](unsigned char c) { return char(std::tolower(c)); });
+    std::string out;
+    for (const std::string &item : items) {
+        if (!out.empty())
+            out += sep;
+        out += item;
+    }
     return out;
 }
 
@@ -44,7 +48,7 @@ takeUint(std::map<std::string, std::string> &params,
     const auto it = params.find(key);
     if (it == params.end())
         return fallback;
-    const std::uint64_t v = parseSizeBytes(it->second);
+    const std::uint64_t v = parseSizeBytesChecked(it->second);
     params.erase(it);
     return v;
 }
@@ -59,8 +63,8 @@ takeDouble(std::map<std::string, std::string> &params,
     char *end = nullptr;
     const double v = std::strtod(it->second.c_str(), &end);
     if (end == it->second.c_str() || *end != '\0')
-        NEUMMU_FATAL("malformed number '" + it->second +
-                     "' for workload parameter " + key);
+        throw WorkloadError("malformed number '" + it->second +
+                            "' for workload parameter " + key);
     params.erase(it);
     return v;
 }
@@ -76,15 +80,18 @@ rejectLeftovers(const std::string &kind,
         (void)value;
         keys += (keys.empty() ? "" : ", ") + key;
     }
-    NEUMMU_FATAL("unknown " + kind + " workload parameter(s): " + keys);
+    throw WorkloadError("unknown " + kind +
+                        " workload parameter(s): " + keys);
 }
 
 WorkloadId
 workloadIdFromName(const std::string &name)
 {
     const std::string want = lowered(name);
+    std::vector<std::string> known;
     for (const WorkloadId id : allWorkloads()) {
         std::string candidate = lowered(workloadName(id));
+        known.push_back(workloadName(id));
         if (candidate == want)
             return id;
         // Accept "CNN1" for "CNN-1".
@@ -94,8 +101,8 @@ workloadIdFromName(const std::string &name)
         if (candidate == want)
             return id;
     }
-    NEUMMU_FATAL("unknown dense model '" + name +
-                 "' (CNN1..CNN3, RNN1..RNN3)");
+    throw WorkloadError("unknown dense model '" + name +
+                        "' (valid: " + joined(known, ", ") + ")");
 }
 
 std::unique_ptr<Workload>
@@ -104,6 +111,14 @@ makeDense(std::map<std::string, std::string> params)
     DenseDnnWorkloadConfig cfg;
     cfg.workload = workloadIdFromName(take(params, "model", "CNN1"));
     cfg.batch = unsigned(takeUint(params, "batch", 1));
+    // layers=N truncates the workload to its first N layers (the
+    // golden matrix and quick smokes use short prefixes).
+    const std::uint64_t layers = takeUint(params, "layers", 0);
+    if (layers > 0) {
+        cfg.layerOverride = makeWorkload(cfg.workload, cfg.batch).layers;
+        if (layers < cfg.layerOverride.size())
+            cfg.layerOverride.resize(layers);
+    }
     rejectLeftovers("dense", params);
     return std::make_unique<DenseDnnWorkload>(std::move(cfg));
 }
@@ -118,8 +133,8 @@ makeEmbedding(std::map<std::string, std::string> params)
     else if (model == "ncf")
         cfg.spec = makeNcf();
     else
-        NEUMMU_FATAL("unknown embedding model '" + model +
-                     "' (dlrm|ncf)");
+        throw WorkloadError("unknown embedding model '" + model +
+                            "' (dlrm|ncf)");
     cfg.batch = unsigned(takeUint(params, "batch", 4));
 
     const std::string mode = lowered(take(params, "mode", "inference"));
@@ -128,8 +143,8 @@ makeEmbedding(std::map<std::string, std::string> params)
     else if (mode == "paging")
         cfg.mode = EmbeddingWorkloadMode::DemandPaging;
     else
-        NEUMMU_FATAL("unknown embedding mode '" + mode +
-                     "' (inference|paging)");
+        throw WorkloadError("unknown embedding mode '" + mode +
+                            "' (inference|paging)");
 
     const std::string policy = lowered(take(params, "policy", "fast"));
     if (policy == "host" || policy == "baseline")
@@ -139,8 +154,8 @@ makeEmbedding(std::map<std::string, std::string> params)
     else if (policy == "fast")
         cfg.policy = EmbeddingPolicy::NumaFast;
     else
-        NEUMMU_FATAL("unknown embedding policy '" + policy +
-                     "' (host|slow|fast)");
+        throw WorkloadError("unknown embedding policy '" + policy +
+                            "' (host|slow|fast)");
 
     cfg.seed = takeUint(params, "seed", cfg.seed);
     rejectLeftovers("embedding", params);
@@ -176,22 +191,20 @@ makeTrace(std::map<std::string, std::string> params)
     TraceWorkloadConfig cfg;
     cfg.path = take(params, "path", "");
     if (cfg.path.empty())
-        NEUMMU_FATAL("trace workload needs path=<file.jsonl>");
+        throw WorkloadError("trace workload needs path=<file.jsonl>");
     cfg.mapPages = takeUint(params, "map", 1) != 0;
     rejectLeftovers("trace", params);
     return std::make_unique<TraceWorkload>(std::move(cfg));
 }
 
-} // namespace
-
 WorkloadSpec
-parseWorkloadSpec(const std::string &text)
+parseWorkloadSpecChecked(const std::string &text)
 {
     WorkloadSpec spec;
     const std::size_t colon = text.find(':');
     spec.kind = lowered(text.substr(0, colon));
     if (spec.kind.empty())
-        NEUMMU_FATAL("empty workload spec");
+        throw WorkloadError("empty workload spec");
     if (colon == std::string::npos)
         return spec;
 
@@ -203,19 +216,32 @@ parseWorkloadSpec(const std::string &text)
         const std::string pair = text.substr(pos, comma - pos);
         const std::size_t eq = pair.find('=');
         if (eq == std::string::npos || eq == 0)
-            NEUMMU_FATAL("workload parameter '" + pair +
-                         "' is not key=value (in spec '" + text + "')");
+            throw WorkloadError("workload parameter '" + pair +
+                                "' is not key=value (in spec '" + text +
+                                "')");
         spec.params[lowered(pair.substr(0, eq))] = pair.substr(eq + 1);
         pos = comma + 1;
     }
     return spec;
 }
 
+} // namespace
+
+WorkloadSpec
+parseWorkloadSpec(const std::string &text)
+{
+    try {
+        return parseWorkloadSpecChecked(text);
+    } catch (const WorkloadError &e) {
+        NEUMMU_FATAL(e.what());
+    }
+}
+
 std::uint64_t
-parseSizeBytes(const std::string &text)
+parseSizeBytesChecked(const std::string &text)
 {
     if (text.empty())
-        NEUMMU_FATAL("empty size literal");
+        throw WorkloadError("empty size literal");
     std::size_t end = 0;
     std::uint64_t value = 0;
     while (end < text.size() &&
@@ -224,24 +250,34 @@ parseSizeBytes(const std::string &text)
         end++;
     }
     if (end == 0)
-        NEUMMU_FATAL("malformed size literal '" + text + "'");
+        throw WorkloadError("malformed size literal '" + text + "'");
     if (end == text.size())
         return value;
     if (end + 1 != text.size())
-        NEUMMU_FATAL("malformed size literal '" + text + "'");
+        throw WorkloadError("malformed size literal '" + text + "'");
     switch (std::tolower(static_cast<unsigned char>(text[end]))) {
       case 'k': return value << 10;
       case 'm': return value << 20;
       case 'g': return value << 30;
       default:
-        NEUMMU_FATAL("unknown size suffix in '" + text + "'");
+        throw WorkloadError("unknown size suffix in '" + text + "'");
+    }
+}
+
+std::uint64_t
+parseSizeBytes(const std::string &text)
+{
+    try {
+        return parseSizeBytesChecked(text);
+    } catch (const WorkloadError &e) {
+        NEUMMU_FATAL(e.what());
     }
 }
 
 std::unique_ptr<Workload>
-makeWorkloadFromSpec(const std::string &text)
+makeWorkloadFromSpecChecked(const std::string &text)
 {
-    WorkloadSpec spec = parseWorkloadSpec(text);
+    WorkloadSpec spec = parseWorkloadSpecChecked(text);
     if (spec.kind == "dense")
         return makeDense(std::move(spec.params));
     if (spec.kind == "embedding")
@@ -250,12 +286,23 @@ makeWorkloadFromSpec(const std::string &text)
         return makeSynthetic(std::move(spec.params));
     if (spec.kind == "trace")
         return makeTrace(std::move(spec.params));
-    NEUMMU_FATAL("unknown workload kind '" + spec.kind + "' (" +
-                 workloadFactoryHelp() + ")");
+    throw WorkloadError("unknown workload kind '" + spec.kind +
+                        "'; valid kinds:\n  " +
+                        joined(listWorkloads(), "\n  "));
+}
+
+std::unique_ptr<Workload>
+makeWorkloadFromSpec(const std::string &text)
+{
+    try {
+        return makeWorkloadFromSpecChecked(text);
+    } catch (const WorkloadError &e) {
+        NEUMMU_FATAL(e.what());
+    }
 }
 
 std::vector<std::unique_ptr<Workload>>
-makeWorkloadsFromList(const std::string &list)
+makeWorkloadsFromListChecked(const std::string &list)
 {
     std::vector<std::unique_ptr<Workload>> out;
     std::size_t pos = 0;
@@ -265,12 +312,22 @@ makeWorkloadsFromList(const std::string &list)
             semi = list.size();
         const std::string spec = list.substr(pos, semi - pos);
         if (!spec.empty())
-            out.push_back(makeWorkloadFromSpec(spec));
+            out.push_back(makeWorkloadFromSpecChecked(spec));
         pos = semi + 1;
     }
     if (out.empty())
-        NEUMMU_FATAL("no workload specs in '" + list + "'");
+        throw WorkloadError("no workload specs in '" + list + "'");
     return out;
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeWorkloadsFromList(const std::string &list)
+{
+    try {
+        return makeWorkloadsFromListChecked(list);
+    } catch (const WorkloadError &e) {
+        NEUMMU_FATAL(e.what());
+    }
 }
 
 const std::vector<std::string> &
@@ -281,13 +338,26 @@ workloadFactoryKinds()
     return kinds;
 }
 
+std::vector<std::string>
+listWorkloads()
+{
+    return {
+        "dense: model=CNN1..RNN3 batch=N layers=N",
+        "embedding: model=dlrm|ncf batch=N mode=inference|paging "
+        "policy=host|slow|fast seed=N",
+        "synthetic: pattern=stride|uniform|hotset|chase footprint=SZ "
+        "accesses=N bytes=SZ stride=SZ batch=N think=N hot=F phot=F "
+        "paged=0|1 seed=N",
+        "trace: path=FILE map=0|1",
+    };
+}
+
 std::string
 workloadFactoryHelp()
 {
-    return "dense:model=CNN1,batch=1 | "
-           "embedding:model=dlrm,mode=inference|paging | "
-           "synthetic:pattern=stride|uniform|hotset|chase[,paged=1] | "
-           "trace:path=file.jsonl";
+    // Derived from listWorkloads() so the one-line help can never
+    // drift from the authoritative per-kind summaries.
+    return joined(listWorkloads(), " | ");
 }
 
 } // namespace neummu

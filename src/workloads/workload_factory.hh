@@ -7,16 +7,19 @@
  *
  * Spec grammar:  kind[:key=value[,key=value...]]
  *
- *   dense      model=CNN1..RNN3  batch=N
+ *   dense      model=CNN1..RNN3  batch=N  layers=N
  *   embedding  model=dlrm|ncf  batch=N  mode=inference|paging
  *              policy=host|slow|fast  seed=N
  *   synthetic  pattern=stride|uniform|hotset|chase  footprint=SZ
  *              accesses=N  bytes=SZ  stride=SZ  batch=N  think=N
- *              hot=F  phot=F  seed=N
+ *              hot=F  phot=F  paged=0|1  seed=N
  *   trace      path=FILE  map=0|1
  *
- * Sizes (SZ) accept K/M/G suffixes. Unknown kinds or keys are fatal
- * (user error), so typos never silently fall back to defaults.
+ * Sizes (SZ) accept K/M/G suffixes. Unknown kinds or keys never
+ * silently fall back to defaults: the Checked entry points throw
+ * WorkloadError (so a sweep job can fail in isolation), and the
+ * legacy entry points turn the same error into a fatal() exit for
+ * the CLI surfaces.
  */
 
 #ifndef NEUMMU_WORKLOADS_WORKLOAD_FACTORY_HH
@@ -24,12 +27,24 @@
 
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "workloads/workload.hh"
 
 namespace neummu {
+
+/**
+ * User error in a workload spec (unknown kind/key, malformed value).
+ * Thrown by the Checked factory entry points; the non-Checked ones
+ * convert it to a fatal() exit.
+ */
+class WorkloadError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** A parsed workload spec: kind plus key=value parameters. */
 struct WorkloadSpec
@@ -44,8 +59,15 @@ WorkloadSpec parseWorkloadSpec(const std::string &text);
 /** Size literal with optional K/M/G suffix ("64K"). Fatal on junk. */
 std::uint64_t parseSizeBytes(const std::string &text);
 
+/** parseSizeBytes, but throwing WorkloadError instead of exiting. */
+std::uint64_t parseSizeBytesChecked(const std::string &text);
+
 /** Instantiate one workload from a spec string. Fatal on junk. */
 std::unique_ptr<Workload> makeWorkloadFromSpec(const std::string &text);
+
+/** makeWorkloadFromSpec, but throwing WorkloadError on junk. */
+std::unique_ptr<Workload> makeWorkloadFromSpecChecked(
+    const std::string &text);
 
 /**
  * Instantiate every ';'-separated spec of @p list, in order (the
@@ -54,10 +76,22 @@ std::unique_ptr<Workload> makeWorkloadFromSpec(const std::string &text);
 std::vector<std::unique_ptr<Workload>> makeWorkloadsFromList(
     const std::string &list);
 
+/** makeWorkloadsFromList, but throwing WorkloadError on junk. */
+std::vector<std::unique_ptr<Workload>> makeWorkloadsFromListChecked(
+    const std::string &list);
+
 /** The registered workload kinds, for help text and docs. */
 const std::vector<std::string> &workloadFactoryKinds();
 
-/** One-line usage summary of every kind (for --help output). */
+/**
+ * Every registered workload kind with its one-line parameter summary
+ * ("dense: model=CNN1..RNN3 batch=N layers=N"), in registration
+ * order. The unknown-kind error enumerates exactly this list, so a
+ * typo'd spec tells the user what would have worked.
+ */
+std::vector<std::string> listWorkloads();
+
+/** One-line usage summary (listWorkloads() joined; --help output). */
 std::string workloadFactoryHelp();
 
 } // namespace neummu

@@ -541,6 +541,87 @@ TEST(WorkloadFactory, BuildsEveryKind)
     EXPECT_EQ(list.size(), 2u);
 }
 
+TEST(WorkloadFactory, ListWorkloadsEnumeratesEveryKind)
+{
+    const std::vector<std::string> lines = listWorkloads();
+    const std::vector<std::string> &kinds = workloadFactoryKinds();
+    ASSERT_EQ(lines.size(), kinds.size())
+        << "listWorkloads() drifted from the registered kinds";
+    for (std::size_t i = 0; i < kinds.size(); i++) {
+        // Each line is "<kind>: <param summary>".
+        EXPECT_EQ(lines[i].rfind(kinds[i] + ":", 0), 0u)
+            << "line '" << lines[i] << "' does not document kind '"
+            << kinds[i] << "'";
+        EXPECT_GT(lines[i].size(), kinds[i].size() + 2)
+            << "kind '" << kinds[i] << "' has no parameter summary";
+    }
+}
+
+TEST(WorkloadFactory, UnknownNamesEnumerateValidChoices)
+{
+    // The thrown (Checked) error for an unknown kind lists every
+    // registered kind, so a typo tells the user what would work.
+    try {
+        makeWorkloadFromSpecChecked("warp:speed=9");
+        FAIL() << "unknown kind was accepted";
+    } catch (const WorkloadError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown workload kind"),
+                  std::string::npos);
+        for (const std::string &kind : workloadFactoryKinds())
+            EXPECT_NE(msg.find(kind), std::string::npos)
+                << "error does not mention kind '" << kind << "'";
+    }
+
+    // Same for an unknown dense model: all six paper workloads.
+    try {
+        makeWorkloadFromSpecChecked("dense:model=VGG");
+        FAIL() << "unknown model was accepted";
+    } catch (const WorkloadError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown dense model"), std::string::npos);
+        for (const WorkloadId id : allWorkloads())
+            EXPECT_NE(msg.find(workloadName(id)), std::string::npos)
+                << "error does not mention " << workloadName(id);
+    }
+}
+
+TEST(WorkloadFactory, CheckedVariantThrowsInsteadOfExiting)
+{
+    EXPECT_THROW(makeWorkloadFromSpecChecked("dense:typo=1"),
+                 WorkloadError);
+    EXPECT_THROW(makeWorkloadsFromListChecked(""), WorkloadError);
+    EXPECT_THROW(parseSizeBytesChecked("12q"), WorkloadError);
+    EXPECT_EQ(parseSizeBytesChecked("4K"), 4096u);
+}
+
+TEST(WorkloadFactory, DenseLayersParamTruncatesTheModel)
+{
+    auto runTicks = [](std::unique_ptr<Workload> wl) {
+        SystemConfig cfg;
+        cfg.mmuKind = MmuKind::NeuMmu;
+        System system(cfg);
+        Scheduler scheduler(system);
+        Workload &w = scheduler.add(std::move(wl), 0);
+        scheduler.run();
+        return w.finishTick();
+    };
+    DenseDnnWorkloadConfig direct;
+    direct.workload = WorkloadId::CNN1;
+    direct.batch = 1;
+    direct.layerOverride = makeWorkload(WorkloadId::CNN1, 1).layers;
+    direct.layerOverride.resize(2);
+    EXPECT_EQ(
+        runTicks(makeWorkloadFromSpec(
+            "dense:model=CNN1,batch=1,layers=2")),
+        runTicks(std::make_unique<DenseDnnWorkload>(direct)));
+    // A huge layers= is clamped to the model, not an error.
+    EXPECT_EQ(
+        runTicks(makeWorkloadFromSpec(
+            "dense:model=RNN1,batch=1,layers=9999")),
+        runTicks(makeWorkloadFromSpec("dense:model=RNN1,batch=1")));
+}
+
 TEST(WorkloadFactory, FactoryRunMatchesDirectConstruction)
 {
     auto run = [](std::unique_ptr<Workload> wl) {
