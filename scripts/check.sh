@@ -9,7 +9,9 @@
 # Env:
 #   BUILD_DIR  build tree (default: build)
 #   BUILD_TYPE CMake build type (default: RelWithDebInfo)
-#   SANITIZE   1 builds and tests under ASan+UBSan (default: 0)
+#   SANITIZE   0 = off, 1/address = ASan+UBSan, thread = TSan
+#              (TSan covers the sharded DomainRuntime barrier and
+#              mailbox paths; default: 0)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,9 +20,18 @@ BUILD_DIR="${BUILD_DIR:-build}"
 BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}"
 SANITIZE="${SANITIZE:-0}"
 
+case "$SANITIZE" in
+  0)         SANITIZE_ARG=OFF ;;
+  1|address) SANITIZE_ARG=ON ;;
+  thread)    SANITIZE_ARG=thread ;;
+  *)
+    echo "error: SANITIZE must be 0, 1, address, or thread" >&2
+    exit 1 ;;
+esac
+
 cmake -B "$BUILD_DIR" -S . -DNEUMMU_WERROR=ON \
       -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
-      -DNEUMMU_SANITIZE="$([[ "$SANITIZE" == 1 ]] && echo ON || echo OFF)"
+      -DNEUMMU_SANITIZE="$SANITIZE_ARG"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # Every bench/bench_*.cc, tools/*.cc, and examples/*.cc must have
@@ -72,6 +83,19 @@ if [[ ! -s "$BENCH_JSON" ]]; then
   exit 1
 fi
 echo "throughput report: $BENCH_JSON"
+# The sharded scaling curve (64-NPU mix across sim.shards) must be in
+# the archived report: events/sec per shard count plus the wall-clock
+# speedup, with hostConcurrency recorded so a single-core runner's
+# flat curve is interpretable. bench_sim_throughput itself fails if
+# the simulated counters drift across the axis.
+for key in npu64_mix.shards1 npu64_mix.shards8 speedup \
+           hostConcurrency; do
+  if ! grep -q "$key" "$BENCH_JSON"; then
+    echo "error: throughput report is missing the sharded scaling" \
+         "curve (no $key)" >&2
+    exit 1
+  fi
+done
 
 # Oversubscription smoke: the page-lifecycle engine (evict + shootdown
 # + refetch) must survive a real sweep end to end and serve its
@@ -139,6 +163,27 @@ if ! cmp -s "$SWEEP_SERIAL" "$SWEEP_PAR"; then
        "to the serial run" >&2
   exit 1
 fi
+
+# Sharded-kernel gate, CLI path: the same matrix forced through the
+# sharded runtime at 1 shard vs 4 shards must merge byte-identically
+# -- shards (and threads) are execution knobs, never model knobs.
+# Both runs use the same -j because the merged JSON records it.
+SHARD_ONE="$BUILD_DIR/BENCH_sweep_shards1.json"
+SHARD_FOUR="$BUILD_DIR/BENCH_sweep_shards4.json"
+"$BUILD_DIR/neummu_sweep" --manifest=scripts/golden_matrix.jsonl \
+    -j 2 --timing=0 --quiet=1 --strict=1 \
+    --set="sim.hubNpus=1;sim.shards=1" --json="$SHARD_ONE" \
+    > /dev/null
+"$BUILD_DIR/neummu_sweep" --manifest=scripts/golden_matrix.jsonl \
+    -j 2 --timing=0 --quiet=1 --strict=1 \
+    --set="sim.hubNpus=1;sim.shards=4" --json="$SHARD_FOUR" \
+    > /dev/null
+if ! cmp -s "$SHARD_ONE" "$SHARD_FOUR"; then
+  echo "error: sharded golden-matrix sweep diverged between" \
+       "sim.shards=1 and sim.shards=4" >&2
+  exit 1
+fi
+echo "sharded determinism gate: shards=1 == shards=4 ($SHARD_FOUR)"
 
 # Scaling-trajectory point: the same matrix with reps lengthening
 # each job, serial baseline measured in-process, wall clock + speedup

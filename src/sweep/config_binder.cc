@@ -129,10 +129,44 @@ applyPreset(SystemConfig &cfg, const std::string &value)
                         "(set mmuKind=oracle|baseline|neummu first)");
     const std::string name = cfg.name;
     const std::uint64_t seed = cfg.seed;
+    // sim.* describes how to EXECUTE the simulation, not the machine;
+    // a preset replaces the machine but keeps the kernel knobs (so
+    // e.g. a base-config "sim.shards=4" survives preset jobs).
+    const SimConfig sim = cfg.sim;
     cfg = demandPagingSystemConfig(spec, EmbeddingSystemConfig{},
                                    cfg.mmuKind, cfg.pageShift);
     cfg.name = name;
     cfg.seed = seed;
+    cfg.sim = sim;
+}
+
+/**
+ * Reject an unknown key. If the key sits in a known group ("sim.foo"),
+ * the error enumerates that group's valid keys, so a typo'd knob fails
+ * with its actual choices instead of a pointer at --list-keys.
+ */
+[[noreturn]] void
+unknownKey(const std::string &key)
+{
+    const std::size_t dot = key.find('.');
+    if (dot != std::string::npos) {
+        const std::string prefix = key.substr(0, dot + 1);
+        std::string choices;
+        for (const BinderKeyDoc &doc : binderKeyTable()) {
+            if (std::string(doc.key).rfind(prefix, 0) != 0)
+                continue;
+            if (!choices.empty())
+                choices += "|";
+            choices += doc.key;
+        }
+        if (!choices.empty())
+            throw BindError("unknown sweep config key '" + key +
+                            "' in group '" + prefix.substr(0, dot) +
+                            "' (valid: " + choices + ")");
+    }
+    throw BindError("unknown sweep config key '" + key +
+                    "' (see neummu_sweep --list-keys for the key "
+                    "table)");
 }
 
 } // namespace
@@ -249,10 +283,20 @@ applyOverride(SystemConfig &cfg, const std::string &key,
         cfg.paging.homeNode = unsigned(parseU64(key, value));
     } else if (key == "paging.writebackOnEvict") {
         cfg.paging.writebackOnEvict = parseBool(key, value);
+
+        // --- Simulation kernel ----------------------------------------
+    } else if (key == "sim.shards") {
+        cfg.sim.shards = unsigned(parseU64(key, value));
+    } else if (key == "sim.hopTicks") {
+        cfg.sim.hopTicks = Tick(parseU64(key, value));
+    } else if (key == "sim.portCredits") {
+        cfg.sim.portCredits = unsigned(parseU64(key, value));
+    } else if (key == "sim.hubNpus") {
+        cfg.sim.hubNpus = unsigned(parseU64(key, value));
+    } else if (key == "sim.threads") {
+        cfg.sim.threads = unsigned(parseU64(key, value));
     } else {
-        throw BindError("unknown sweep config key '" + key +
-                        "' (see " + std::string("neummu_sweep") +
-                        " --list-keys for the key table)");
+        unknownKey(key);
     }
 }
 
@@ -306,6 +350,14 @@ binderKeyTable()
         {"paging.faultLatency", "OS fault-handling overhead (cycles)"},
         {"paging.homeNode", "NPU slot whose node the engine manages"},
         {"paging.writebackOnEvict", "0|1: charge write-back migration"},
+        {"sim.shards", "0 = legacy serial kernel; >=1 = sharded "
+                       "domain kernel with that many NPU shards"},
+        {"sim.hopTicks", "NPU<->hub hop latency = lookahead (>=1)"},
+        {"sim.portCredits", "outstanding translations per NPU port"},
+        {"sim.hubNpus", "first K NPU slots co-resident on the hub "
+                        "queue (auto-covers paging.homeNode)"},
+        {"sim.threads", "worker threads (0 = one per domain); never "
+                        "affects results"},
     };
     return table;
 }

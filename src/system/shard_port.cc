@@ -1,0 +1,119 @@
+#include "system/shard_port.hh"
+
+#include "common/logging.hh"
+
+namespace neummu {
+
+ShardTranslationPort::ShardTranslationPort(std::string name,
+                                           DomainRuntime &rt,
+                                           EventQueue &eq,
+                                           unsigned self_unit,
+                                           unsigned credits)
+    : _rt(rt), _eq(eq), _selfUnit(self_unit), _credits(credits),
+      _stats(std::move(name)),
+      _sRequests(_stats.scalar("requests")),
+      _sResponses(_stats.scalar("responses")),
+      _sCreditBlocks(_stats.scalar("creditBlocks"))
+{
+    NEUMMU_ASSERT(credits >= 1,
+                  "a shard translation port needs at least one credit");
+}
+
+bool
+ShardTranslationPort::translate(Addr va, std::uint64_t id)
+{
+    NEUMMU_ASSERT(_bridge, "shard port used before connectHub()");
+    if (_credits == 0) {
+        // Out of credits: reject like an exhausted MMU port; the
+        // wake fires when a response returns a credit.
+        _counts.blockedIssues++;
+        ++_sCreditBlocks;
+        return false;
+    }
+    _credits--;
+    _counts.requests++;
+    ++_sRequests;
+    HubTranslationBridge *bridge = _bridge;
+    _rt.post(/*to_queue=*/0, _selfUnit, _eq.now() + _rt.hopTicks(),
+             [bridge, va, id] { bridge->ingress(va, id); });
+    return true;
+}
+
+void
+ShardTranslationPort::setResponseCallback(ResponseCallback cb)
+{
+    _respond = std::move(cb);
+}
+
+void
+ShardTranslationPort::setWakeCallback(WakeCallback cb)
+{
+    _wake = std::move(cb);
+}
+
+void
+ShardTranslationPort::invalidate(Addr va)
+{
+    NEUMMU_ASSERT(_bridge, "shard port used before connectHub()");
+    HubTranslationBridge *bridge = _bridge;
+    _rt.post(/*to_queue=*/0, _selfUnit, _eq.now() + _rt.hopTicks(),
+             [bridge, va] { bridge->invalidateHub(va); });
+}
+
+void
+ShardTranslationPort::deliverResponse(const TranslationResponse &resp)
+{
+    const bool was_starved = _credits == 0;
+    _credits++;
+    _counts.responses++;
+    ++_sResponses;
+    if (_respond)
+        _respond(resp);
+    if (was_starved && _wake)
+        _wake();
+}
+
+HubTranslationBridge::HubTranslationBridge(DomainRuntime &rt,
+                                           EventQueue &hub_eq,
+                                           unsigned npu_unit,
+                                           unsigned npu_queue,
+                                           TranslationEngine &port,
+                                           ShardTranslationPort &shard)
+    : _rt(rt), _eq(hub_eq), _npuUnit(npu_unit), _npuQueue(npu_queue),
+      _port(port), _shard(shard)
+{
+    _port.setResponseCallback(
+        [this](const TranslationResponse &resp) { onResponse(resp); });
+    _port.setWakeCallback([this] { onWake(); });
+}
+
+void
+HubTranslationBridge::ingress(Addr va, std::uint64_t id)
+{
+    // Preserve request order: once anything is parked, everything
+    // queues behind it.
+    if (!_retry.empty() || !_port.translate(va, id))
+        _retry.emplace_back(va, id);
+}
+
+void
+HubTranslationBridge::onWake()
+{
+    while (!_retry.empty()) {
+        const auto &[va, id] = _retry.front();
+        if (!_port.translate(va, id))
+            break;
+        _retry.pop_front();
+    }
+}
+
+void
+HubTranslationBridge::onResponse(const TranslationResponse &resp)
+{
+    ShardTranslationPort *shard = &_shard;
+    _rt.post(_npuQueue, /*sender_unit=*/0,
+             _eq.now() + _rt.hopTicks(),
+             [shard, resp] { shard->deliverResponse(resp); });
+}
+
+} // namespace neummu

@@ -1,5 +1,7 @@
 #include "system/system.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace neummu {
@@ -32,11 +34,44 @@ System::System(SystemConfig cfg)
 {
     NEUMMU_ASSERT(_cfg.numNpus >= 1, "a system needs at least one NPU");
 
+    if (_cfg.sim.shards > 0) {
+        // Sharded domain kernel: hub queue + one queue per non-hub
+        // NPU, grouped into min(shards, non-hub NPUs) domains plus
+        // the hub domain. Unit ids: hub = 0, NPU i = i + 1.
+        NEUMMU_ASSERT(!_cfg.sharedMemory,
+                      "sharded simulation (sim.shards > 0) requires "
+                      "per-NPU memory nodes (sharedMemory=0)");
+        NEUMMU_ASSERT(_cfg.sim.hopTicks >= 1,
+                      "sim.hopTicks must be at least 1");
+        NEUMMU_ASSERT(_cfg.sim.portCredits >= 1,
+                      "sim.portCredits must be at least 1");
+        unsigned hub_npus = std::min(_cfg.sim.hubNpus, _cfg.numNpus);
+        if (_cfg.paging.enabled) {
+            // The paging engine touches the home node's memory model
+            // synchronously; its NPU must share the hub queue.
+            hub_npus = std::min(
+                std::max(hub_npus, _cfg.paging.homeNode + 1),
+                _cfg.numNpus);
+        }
+        const unsigned remote = _cfg.numNpus - hub_npus;
+        _npuQueue.resize(_cfg.numNpus);
+        for (unsigned i = 0; i < _cfg.numNpus; i++)
+            _npuQueue[i] = i < hub_npus ? 0 : 1 + (i - hub_npus);
+        const unsigned eff_shards =
+            remote ? std::min(_cfg.sim.shards, remote) : 0;
+        std::vector<unsigned> domain_of_queue(1 + remote, 0);
+        for (unsigned j = 0; j < remote; j++)
+            domain_of_queue[1 + j] = 1 + (j * eff_shards) / remote;
+        _domains = std::make_unique<DomainRuntime>(
+            1 + remote, _cfg.numNpus + 1, std::move(domain_of_queue),
+            _cfg.sim.hopTicks, _cfg.sim.threads);
+    }
+
     const MmuConfig mmu_cfg = _cfg.resolvedMmuConfig();
     NEUMMU_ASSERT(mmu_cfg.pageShift == _cfg.pageShift,
                   "MMU page size and system page size must agree");
-    _mmu = std::make_unique<MmuCore>(prefixed(_cfg.name, "mmu"), _eq,
-                                     _pageTable, mmu_cfg);
+    _mmu = std::make_unique<MmuCore>(prefixed(_cfg.name, "mmu"),
+                                     eventQueue(), _pageTable, mmu_cfg);
     _stats.add(_mmu->stats());
 
     if (_cfg.numNpus > 1) {
@@ -79,13 +114,38 @@ System::System(SystemConfig cfg)
                 prefixed(_cfg.name, id + ".mem"), _cfg.memory);
             _stats.add(npu.mem->stats());
         }
+        EventQueue &npu_eq = eventQueueFor(i);
+        TranslationEngine *dma_port =
+            _router ? &_router->port(i)
+                    : static_cast<TranslationEngine *>(_mmu.get());
+        if (_domains) {
+            // Sharded mode: the DMA talks to a credit port; the hub
+            // bridge replays its mailbox traffic into the real port.
+            // Hub-resident NPUs take the same hop via their
+            // self-mailbox, so results do not depend on residency.
+            auto port = std::make_unique<ShardTranslationPort>(
+                prefixed(_cfg.name, id + ".port"), *_domains, npu_eq,
+                i + 1, _cfg.sim.portCredits);
+            _hubBridges.push_back(
+                std::make_unique<HubTranslationBridge>(
+                    *_domains, eventQueue(), i + 1, _npuQueue[i],
+                    *dma_port, *port));
+            port->connectHub(*_hubBridges.back());
+            // Hub-and-spoke channel map: NPU i posts requests to the
+            // hub queue; the hub posts responses and invalidations
+            // back to NPU i's queue. Registering them here lets the
+            // runtime scan only live mailboxes per window.
+            _domains->addChannel(0, i + 1);
+            _domains->addChannel(_npuQueue[i], 0);
+            _stats.add(port->stats());
+            dma_port = port.get();
+            _shardPorts.push_back(std::move(port));
+        }
         npu.dma = std::make_unique<DmaEngine>(
-            prefixed(_cfg.name, id + ".dma"), _eq,
-            _router ? _router->port(i)
-                    : static_cast<TranslationEngine &>(*_mmu),
+            prefixed(_cfg.name, id + ".dma"), npu_eq, *dma_port,
             _cfg.sharedMemory ? *_sharedMem : *npu.mem, dma_cfg);
-        npu.pipeline = std::make_unique<TilePipeline>(_eq, *npu.dma,
-                                                      _cfg.bufferDepth);
+        npu.pipeline = std::make_unique<TilePipeline>(
+            npu_eq, *npu.dma, _cfg.bufferDepth);
         _stats.add(npu.dma->stats());
         _npus.push_back(std::move(npu));
     }
@@ -110,7 +170,42 @@ System::~System() = default;
 Tick
 System::run(Tick limit)
 {
-    return _eq.run(limit);
+    return _domains ? _domains->run(limit) : _eq.run(limit);
+}
+
+EventQueue &
+System::eventQueueFor(unsigned npu)
+{
+    if (!_domains)
+        return _eq;
+    NEUMMU_ASSERT(npu < _npuQueue.size(), "NPU index out of range");
+    return _domains->queue(_npuQueue[npu]);
+}
+
+DomainRuntime &
+System::domains()
+{
+    NEUMMU_ASSERT(_domains, "system is not sharded (sim.shards = 0)");
+    return *_domains;
+}
+
+bool
+System::isHubResident(unsigned npu)
+{
+    if (!_domains)
+        return true;
+    NEUMMU_ASSERT(npu < _npuQueue.size(), "NPU index out of range");
+    return _npuQueue[npu] == 0;
+}
+
+void
+System::requireHubResident(unsigned npu, const std::string &what)
+{
+    if (isHubResident(npu))
+        return;
+    NEUMMU_FATAL(what + " needs synchronous hub access, so NPU slot " +
+                 std::to_string(npu) + " must be hub-resident: set "
+                 "sim.hubNpus to at least " + std::to_string(npu + 1));
 }
 
 System::Npu &
@@ -140,6 +235,11 @@ System::router()
 TranslationEngine &
 System::translationPort(unsigned npu)
 {
+    if (_domains) {
+        NEUMMU_ASSERT(npu < _shardPorts.size(),
+                      "NPU index out of range");
+        return *_shardPorts[npu];
+    }
     if (_router)
         return _router->port(npu);
     NEUMMU_ASSERT(npu == 0, "NPU index out of range");
@@ -184,16 +284,27 @@ System::refreshSystemStats()
     stats::Group &sim = _stats.group(prefixed(_cfg.name, "sim"));
     stats::Scalar &ticks = sim.scalar("simTicks");
     ticks.reset();
-    ticks += double(_eq.now());
+    ticks += double(now());
     stats::Scalar &events = sim.scalar("eventsExecuted");
     events.reset();
-    events += double(_eq.eventsExecuted());
+    events += double(eventsExecuted());
     // Peak pending-event count: a kernel-implementation invariant
     // (identical schedule/dispatch sequences give identical depths),
-    // so the golden-stats tests pin it across kernel rewrites.
+    // so the golden-stats tests pin it across kernel rewrites. In
+    // sharded mode it is the max over queues -- invariant across
+    // shards/threads (the queue partition is fixed by hubNpus), but a
+    // function of the hubNpus model parameter.
     stats::Scalar &peak = sim.scalar("peakQueueDepth");
     peak.reset();
-    peak += double(_eq.peakDepth());
+    peak += double(peakQueueDepth());
+    if (_domains) {
+        stats::Scalar &msgs = sim.scalar("crossDomainMessages");
+        msgs.reset();
+        msgs += double(_domains->messagesPosted());
+        stats::Scalar &wins = sim.scalar("syncWindows");
+        wins.reset();
+        wins += double(_domains->windowsExecuted());
+    }
 }
 
 void

@@ -32,13 +32,58 @@
 #include "npu/dma_engine.hh"
 #include "npu/npu_config.hh"
 #include "npu/tile_pipeline.hh"
+#include "sim/domain.hh"
 #include "sim/event_queue.hh"
 #include "system/paging_engine.hh"
+#include "system/shard_port.hh"
 #include "vm/address_space.hh"
 #include "vm/frame_allocator.hh"
 #include "vm/page_table.hh"
 
 namespace neummu {
+
+/**
+ * Simulation-kernel execution/model knobs (ConfigBinder group
+ * "sim.*"). shards = 0 runs the legacy serial kernel: one EventQueue,
+ * synchronous ports, byte-identical to every pre-sharding golden
+ * dump. shards >= 1 switches to the sharded domain kernel, which is
+ * an explicitly different machine model: every NPU<->hub interaction
+ * (translation requests/responses, invalidations) crosses an
+ * interconnect hop of hopTicks each way, flow-controlled by
+ * portCredits outstanding translations per NPU.
+ *
+ * Within the domain model, results are byte-identical for ANY shards
+ * >= 1 and ANY thread count -- only hopTicks, portCredits, and
+ * hubNpus are model parameters. shards and threads are pure
+ * execution knobs.
+ */
+struct SimConfig
+{
+    /**
+     * Event-domain shards for the non-hub NPUs; 0 selects the legacy
+     * serial kernel, >= 1 the sharded domain kernel (clamped to the
+     * non-hub NPU count).
+     */
+    unsigned shards = 0;
+    /**
+     * NPU<->hub interconnect hop in ticks; doubles as the
+     * conservative lookahead (the barrier-window width). Must be
+     * >= 1; larger hops sync less often but add modeled latency.
+     */
+    Tick hopTicks = 64;
+    /** Outstanding-translation credits per NPU port (>= 1). */
+    unsigned portCredits = 64;
+    /**
+     * First K NPU slots co-resident on the hub queue (for components
+     * that need synchronous MMU/paging access, e.g. demand-paging
+     * workloads). Auto-raised to cover paging.homeNode. Changes the
+     * queue partition, so peakQueueDepth -- a per-queue kernel stat
+     * -- depends on it; everything simulated does not.
+     */
+    unsigned hubNpus = 0;
+    /** Worker threads (0 = one per domain). Never affects results. */
+    unsigned threads = 0;
+};
 
 /**
  * Full machine description. Defaults reproduce the paper's baseline
@@ -105,6 +150,11 @@ struct SystemConfig
      */
     PagingConfig paging{};
 
+    // --- Simulation kernel -----------------------------------------
+    /** Sharded-execution knobs (sim.shards = 0 keeps the legacy
+     *  single-queue kernel). */
+    SimConfig sim{};
+
     // --- Page table / VA layout ------------------------------------
     /** Page size of the translation stream (12 or 21). */
     unsigned pageShift = smallPageShift;
@@ -139,11 +189,54 @@ class System
     unsigned numNpus() const { return unsigned(_npus.size()); }
 
     // --- Simulation ------------------------------------------------
-    EventQueue &eventQueue() { return _eq; }
-    Tick now() const { return _eq.now(); }
-    /** Drain the event queue (up to and including @p limit -- see
+    /** The hub event queue (the only queue when sim.shards = 0). */
+    EventQueue &eventQueue()
+    {
+        return _domains ? _domains->queue(0) : _eq;
+    }
+    /**
+     * The queue NPU @p npu's components (DMA, pipeline) run on --
+     * the hub queue in legacy mode or for hub-resident NPUs.
+     * Workload code must schedule slot-local events here, never on
+     * eventQueue(), so it stays correct under sharding.
+     */
+    EventQueue &eventQueueFor(unsigned npu);
+    /**
+     * Global simulated time: the hub clock in legacy mode, the max
+     * over domain clocks when sharded. Only meaningful outside run()
+     * -- event handlers must use their own queue's now().
+     */
+    Tick now() const
+    {
+        return _domains ? _domains->now() : _eq.now();
+    }
+    /** Drain the event queue(s) (up to and including @p limit -- see
      *  EventQueue::run); returns final time. */
     Tick run(Tick limit = maxTick);
+    /** Events executed across all queues. */
+    std::uint64_t eventsExecuted() const
+    {
+        return _domains ? _domains->eventsExecuted()
+                        : _eq.eventsExecuted();
+    }
+    /** Peak pending-event depth (max over queues when sharded). */
+    std::uint64_t peakQueueDepth() const
+    {
+        return _domains ? _domains->peakDepth() : _eq.peakDepth();
+    }
+
+    // --- Sharded execution -----------------------------------------
+    bool sharded() const { return _domains != nullptr; }
+    /** @pre sharded() */
+    DomainRuntime &domains();
+    /** True when @p npu runs on the hub queue (always, unsharded). */
+    bool isHubResident(unsigned npu);
+    /**
+     * Abort with an actionable error unless @p npu is hub-resident:
+     * call before installing anything on the slot that needs
+     * synchronous hub access (fault handlers, paging hooks).
+     */
+    void requireHubResident(unsigned npu, const std::string &what);
 
     // --- Virtual memory --------------------------------------------
     FrameAllocator &hostNode() { return _hostNode; }
@@ -194,6 +287,13 @@ class System
 
     SystemConfig _cfg;
     EventQueue _eq;
+    /** Sharded-mode runtime; null under the legacy serial kernel. */
+    std::unique_ptr<DomainRuntime> _domains;
+    /** Queue index per NPU (sharded mode only; 0 = hub queue). */
+    std::vector<unsigned> _npuQueue;
+    /** Per-NPU credit ports / hub bridges (sharded mode only). */
+    std::vector<std::unique_ptr<ShardTranslationPort>> _shardPorts;
+    std::vector<std::unique_ptr<HubTranslationBridge>> _hubBridges;
     FrameAllocator _hostNode;
     PageTable _pageTable;
     AddressSpace _vas;

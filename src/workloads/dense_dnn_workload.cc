@@ -64,7 +64,7 @@ void
 DenseDnnWorkload::startLayer(std::size_t index)
 {
     if (index >= _model.layers.size()) {
-        finish(system().now());
+        finish(now());
         return;
     }
 

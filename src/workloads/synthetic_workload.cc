@@ -124,7 +124,7 @@ void
 SyntheticWorkload::issueNextBatch()
 {
     if (_issued >= _cfg.accesses) {
-        finish(system().now());
+        finish(now());
         return;
     }
 
@@ -141,7 +141,7 @@ SyntheticWorkload::issueNextBatch()
     system().dma(npuSlot()).fetch(std::move(_batch), [this](Tick) {
         *_batchesIssued += 1.0;
         if (_cfg.thinkCycles > 0 && _issued < _cfg.accesses) {
-            system().eventQueue().scheduleIn(
+            eventQueue().scheduleIn(
                 _cfg.thinkCycles, [this] { issueNextBatch(); });
         } else {
             issueNextBatch();

@@ -254,7 +254,7 @@ TraceWorkload::onStart()
         });
 
     if (_cfg.entries.empty()) {
-        finish(system().now());
+        finish(now());
         return;
     }
     issue(0);
@@ -264,7 +264,7 @@ void
 TraceWorkload::issue(std::size_t index)
 {
     const TraceEntry &e = _cfg.entries[index];
-    const Tick when = system().now();
+    const Tick when = now();
     const bool accepted =
         system().translationPort(npuSlot()).translate(e.va, index);
     if (accepted) {
@@ -281,7 +281,7 @@ TraceWorkload::issue(std::size_t index)
         const TraceEntry &next = _cfg.entries[index + 1];
         NEUMMU_ASSERT(next.tick >= e.tick,
                       "trace ticks must be non-decreasing");
-        system().eventQueue().schedule(
+        eventQueue().schedule(
             when + (next.tick - e.tick),
             [this, index] { issue(index + 1); });
     } else {
@@ -295,7 +295,7 @@ TraceWorkload::maybeFinish()
     if (done() || _issued < _cfg.entries.size() ||
         _responses < _expectedResponses)
         return;
-    finish(system().now());
+    finish(now());
 }
 
 } // namespace neummu

@@ -40,6 +40,18 @@ Workload::system() const
     return *_system;
 }
 
+EventQueue &
+Workload::eventQueue() const
+{
+    return system().eventQueueFor(_npu);
+}
+
+Tick
+Workload::now() const
+{
+    return system().eventQueueFor(_npu).now();
+}
+
 stats::Group &
 Workload::stats() const
 {

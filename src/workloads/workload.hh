@@ -26,6 +26,7 @@
 
 namespace neummu {
 
+class EventQueue;
 class System;
 
 /**
@@ -106,6 +107,15 @@ class Workload
     virtual void onBind() = 0;
     /** Schedule the first traffic (must not drain the event queue). */
     virtual void onStart() = 0;
+
+    /**
+     * The bound slot's event queue. Workload code must schedule on
+     * (and read time from) THIS queue, never system().eventQueue(),
+     * so it stays on its own shard under sim.shards > 0. @pre bound()
+     */
+    EventQueue &eventQueue() const;
+    /** The bound slot's current tick (safe inside handlers). */
+    Tick now() const;
 
     /**
      * Mark the workload finished at @p at, record the standard
