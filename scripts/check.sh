@@ -198,3 +198,86 @@ if ! grep -q '"speedup"' "$SWEEP_JSON"; then
   exit 1
 fi
 echo "sweep scaling report: $SWEEP_JSON"
+
+# --- Serving gates -----------------------------------------------------
+# Open-loop serving mode: the ServingEngine must survive a Poisson run
+# and a tenant-churn run end to end through the neummu_serve CLI, and
+# its dump must be byte-reproducible -- same seed, any shard count.
+if [[ ! -x "$BUILD_DIR/neummu_serve" ]]; then
+  echo "error: neummu_serve was not built" >&2
+  exit 1
+fi
+
+# Poisson smoke: quantiles and windowed series must be in the JSON.
+SERVE_POISSON="$BUILD_DIR/BENCH_serve_poisson.json"
+"$BUILD_DIR/neummu_serve" --cycles=2000000 \
+    --set="numNpus=4;serve.process=poisson" \
+    --json="$SERVE_POISSON" > /dev/null
+for key in '"p50"' '"p99"' '"p999"' '"windowArrivals"' \
+           '"arrivalDigestLo"'; do
+  if ! grep -q "$key" "$SERVE_POISSON"; then
+    echo "error: serving dump is missing $key" >&2
+    exit 1
+  fi
+done
+
+# Tenant-churn smoke: address spaces must be created and torn down
+# (admitted > initial cohort, retired > 0, pages released).
+SERVE_CHURN_SET="numNpus=4;paging.enabled=1;\
+paging.residentLimitPages=96;paging.faultLatency=1000;\
+serve.process=bursty;serve.tenants=6;serve.demandPaged=1;\
+serve.lifetimeRequests=8;serve.workload=embedding:footprint=256K,\
+accesses=16"
+SERVE_CHURN="$BUILD_DIR/BENCH_serve_churn.json"
+"$BUILD_DIR/neummu_serve" --cycles=4000000 --seed=7 \
+    --set="$SERVE_CHURN_SET" --json="$SERVE_CHURN" > /dev/null
+if grep -q '"retired": 0' "$SERVE_CHURN"; then
+  echo "error: serving churn run retired no tenants" >&2
+  exit 1
+fi
+if ! grep -q '"releasedPages"' "$SERVE_CHURN"; then
+  echo "error: serving churn run released no pages" >&2
+  exit 1
+fi
+
+# Byte-identity: same seed twice, and sim.shards=1 vs 4.
+SERVE_A="$BUILD_DIR/BENCH_serve_rep.json"
+"$BUILD_DIR/neummu_serve" --cycles=4000000 --seed=7 \
+    --set="$SERVE_CHURN_SET" --json="$SERVE_A" > /dev/null
+if ! cmp -s "$SERVE_CHURN" "$SERVE_A"; then
+  echo "error: same-seed serving runs dumped different stats" >&2
+  exit 1
+fi
+SERVE_S1="$BUILD_DIR/BENCH_serve_shards1.json"
+SERVE_S4="$BUILD_DIR/BENCH_serve_shards4.json"
+"$BUILD_DIR/neummu_serve" --cycles=4000000 --seed=7 \
+    --set="$SERVE_CHURN_SET;sim.shards=1" --json="$SERVE_S1" \
+    > /dev/null
+"$BUILD_DIR/neummu_serve" --cycles=4000000 --seed=7 \
+    --set="$SERVE_CHURN_SET;sim.shards=4" --json="$SERVE_S4" \
+    > /dev/null
+if ! cmp -s "$SERVE_S1" "$SERVE_S4"; then
+  echo "error: serving dump diverged between sim.shards=1 and 4" >&2
+  exit 1
+fi
+echo "serving determinism gate: same-seed and shards 1 == 4"
+
+# Serving benchmark: the acceptance scenario (64 NPUs, >100 churning
+# demand-paged tenants, >=10M cycles) with its self-certifying
+# checks; the JSON is archived as the serving perf artifact.
+SERVING_JSON="$BUILD_DIR/BENCH_serving.json"
+"$BUILD_DIR/bench_serving" --json="$SERVING_JSON" > /dev/null
+if [[ ! -s "$SERVING_JSON" ]]; then
+  echo "error: bench_serving produced no JSON report" >&2
+  exit 1
+fi
+for key in '"serving.churn64"' '"serving.steady"' '"p50"' '"p99"' \
+           '"p999"' '"evictions"' '"shootdowns"' \
+           '"churnBothHalves": 1' '"identicalSameSeed": 1' \
+           '"identicalShards1v4": 1'; do
+  if ! grep -q "$key" "$SERVING_JSON"; then
+    echo "error: serving report is missing $key" >&2
+    exit 1
+  fi
+done
+echo "serving report: $SERVING_JSON"

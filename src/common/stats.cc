@@ -37,6 +37,149 @@ Distribution::reset()
     _sum = 0.0;
 }
 
+Histogram::Histogram(unsigned precision_bits)
+    : _bits(precision_bits)
+{
+    // Below 1 bit the octave sub-split degenerates; above 16 the
+    // bucket table would dwarf the data it summarizes.
+    if (_bits < 1)
+        _bits = 1;
+    if (_bits > 16)
+        _bits = 16;
+}
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t v) const
+{
+    const std::uint64_t sub = std::uint64_t(1) << _bits;
+    if (v < sub)
+        return std::size_t(v);
+    // Floor log2 via the highest set bit, then the top precisionBits
+    // bits below it select the linear sub-bucket within the octave.
+    unsigned msb = 63;
+    while (!(v >> msb))
+        msb--;
+    const unsigned shift = msb - _bits;
+    return std::size_t((std::uint64_t(shift + 1) << _bits) +
+                       ((v >> shift) - sub));
+}
+
+std::uint64_t
+Histogram::bucketUpperBound(std::size_t idx) const
+{
+    const std::uint64_t sub = std::uint64_t(1) << _bits;
+    const std::uint64_t g = std::uint64_t(idx) >> _bits;
+    if (g == 0)
+        return std::uint64_t(idx);
+    const unsigned shift = unsigned(g - 1);
+    const std::uint64_t low = (std::uint64_t(idx) & (sub - 1)) + sub;
+    if (shift >= 63 - _bits)
+        return ~std::uint64_t(0);
+    return ((low + 1) << shift) - 1;
+}
+
+void
+Histogram::record(std::uint64_t v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    const std::size_t idx = bucketIndex(v);
+    if (idx >= _buckets.size())
+        _buckets.resize(idx + 1, 0);
+    _buckets[idx] += n;
+    _count += n;
+    _sum += double(v) * double(n);
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _count = 0;
+    _sum = 0.0;
+    _min = ~std::uint64_t(0);
+    _max = 0;
+}
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (_count == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank from integer arithmetic only at the boundary: ceil(q * n)
+    // clamped into [1, n], so q = 0.5 of 4 samples is rank 2.
+    std::uint64_t rank = std::uint64_t(std::ceil(q * double(_count)));
+    rank = std::min(std::max<std::uint64_t>(rank, 1), _count);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); i++) {
+        seen += _buckets[i];
+        if (seen >= rank) {
+            const std::uint64_t bound = bucketUpperBound(i);
+            return std::max(std::min(bound, _max), _min);
+        }
+    }
+    return _max;
+}
+
+Series::Series(std::size_t capacity, Merge merge)
+    : _capacity(capacity < 2 ? 2 : capacity & ~std::size_t(1)),
+      _merge(merge)
+{
+    _values.reserve(_capacity);
+}
+
+void
+Series::push(double v)
+{
+    _values.push_back(v);
+    if (_values.size() < _capacity)
+        return;
+    // Fold adjacent pairs, double the stride: resolution halves, the
+    // footprint stays bounded, and the result is a pure function of
+    // the appended sequence.
+    for (std::size_t i = 0; i < _values.size() / 2; i++) {
+        const double merged = _values[2 * i] + _values[2 * i + 1];
+        _values[i] =
+            _merge == Merge::Sum ? merged : merged / 2.0;
+    }
+    _values.resize(_values.size() / 2);
+    _stride *= 2;
+}
+
+void
+Series::append(double v)
+{
+    _points++;
+    if (_stride == 1) {
+        push(v);
+        return;
+    }
+    _carrySum += v;
+    _carryCount++;
+    if (_carryCount < _stride)
+        return;
+    push(_merge == Merge::Sum ? _carrySum
+                              : _carrySum / double(_carryCount));
+    _carrySum = 0.0;
+    _carryCount = 0;
+}
+
+void
+Series::reset()
+{
+    _values.clear();
+    _points = 0;
+    _stride = 1;
+    _carrySum = 0.0;
+    _carryCount = 0;
+}
+
 Scalar &
 Group::scalar(const std::string &stat_name)
 {
@@ -47,6 +190,21 @@ Average &
 Group::average(const std::string &stat_name)
 {
     return _averages[stat_name];
+}
+
+Histogram &
+Group::histogram(const std::string &stat_name)
+{
+    return _histograms[stat_name];
+}
+
+Series &
+Group::series(const std::string &stat_name, Series::Merge merge)
+{
+    auto it = _series.find(stat_name);
+    if (it == _series.end())
+        it = _series.emplace(stat_name, Series(256, merge)).first;
+    return it->second;
 }
 
 void
@@ -63,6 +221,32 @@ Group::dump(std::ostream &os) const
         os << std::setw(44) << (_name + "." + stat_name + ".count") << " "
            << a.count() << "\n";
     }
+    for (const auto &[stat_name, h] : _histograms) {
+        const std::string base = _name + "." + stat_name;
+        os << std::setw(44) << (base + ".count") << " " << h.count()
+           << "\n";
+        os << std::setw(44) << (base + ".mean") << " " << h.mean()
+           << "\n";
+        os << std::setw(44) << (base + ".min") << " " << h.min()
+           << "\n";
+        os << std::setw(44) << (base + ".max") << " " << h.max()
+           << "\n";
+        os << std::setw(44) << (base + ".p50") << " "
+           << h.quantile(0.5) << "\n";
+        os << std::setw(44) << (base + ".p90") << " "
+           << h.quantile(0.9) << "\n";
+        os << std::setw(44) << (base + ".p99") << " "
+           << h.quantile(0.99) << "\n";
+        os << std::setw(44) << (base + ".p999") << " "
+           << h.quantile(0.999) << "\n";
+    }
+    for (const auto &[stat_name, ts] : _series) {
+        const std::string base = _name + "." + stat_name;
+        os << std::setw(44) << (base + ".points") << " "
+           << ts.points() << "\n";
+        os << std::setw(44) << (base + ".stride") << " "
+           << ts.stride() << "\n";
+    }
 }
 
 void
@@ -72,6 +256,10 @@ Group::reset()
         s.reset();
     for (auto &[stat_name, a] : _averages)
         a.reset();
+    for (auto &[stat_name, h] : _histograms)
+        h.reset();
+    for (auto &[stat_name, ts] : _series)
+        ts.reset();
 }
 
 } // namespace stats

@@ -107,6 +107,100 @@ class Average
     double _max = -std::numeric_limits<double>::infinity();
 };
 
+/**
+ * Streaming HDR-style log-bucketed histogram over unsigned integer
+ * samples (latencies in cycles). Values below 2^precisionBits land in
+ * exact unit buckets; above that, each power-of-two octave is split
+ * into 2^precisionBits linear sub-buckets, so any reported quantile
+ * is an upper bound within a relative error of 2^-precisionBits
+ * (3.125% at the default 5 bits) while memory stays a few KB no
+ * matter how many samples stream through. All bookkeeping is integer,
+ * so quantiles are bit-deterministic: same sample multiset, same
+ * p50/p99/p999, byte for byte.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(unsigned precision_bits = 5);
+
+    /** Record @p n samples of value @p v. */
+    void record(std::uint64_t v, std::uint64_t n = 1);
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t min() const { return _count ? _min : 0; }
+    std::uint64_t max() const { return _count ? _max : 0; }
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+
+    /**
+     * Smallest recorded-bucket upper bound covering at least
+     * ceil(q * count) samples, clamped into [min, max]; 0 when empty.
+     * Exact for values below 2^precisionBits, otherwise an upper
+     * bound within relativeErrorBound().
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Worst-case relative overestimate of quantile(). */
+    double relativeErrorBound() const
+    {
+        return 1.0 / double(std::uint64_t(1) << _bits);
+    }
+
+  private:
+    std::size_t bucketIndex(std::uint64_t v) const;
+    std::uint64_t bucketUpperBound(std::size_t idx) const;
+
+    unsigned _bits;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _count = 0;
+    std::uint64_t _min = ~std::uint64_t(0);
+    std::uint64_t _max = 0;
+    double _sum = 0.0;
+};
+
+/**
+ * Bounded time series for windowed metrics (per-window throughput,
+ * sampled queue depth). Values append in window order; when the
+ * capacity fills, adjacent pairs merge (sum for additive counters,
+ * mean for gauges) and the stride -- raw windows per stored point --
+ * doubles, so an arbitrarily long run dumps a fixed-size,
+ * deterministic series at self-coarsening resolution.
+ */
+class Series
+{
+  public:
+    /** How two windows combine when the series coarsens. */
+    enum class Merge
+    {
+        Sum,
+        Mean,
+    };
+
+    explicit Series(std::size_t capacity = 256,
+                    Merge merge = Merge::Sum);
+
+    void append(double v);
+    void reset();
+
+    /** Raw windows appended so far. */
+    std::uint64_t points() const { return _points; }
+    /** Raw windows folded into each stored value. */
+    std::uint64_t stride() const { return _stride; }
+    const std::vector<double> &values() const { return _values; }
+
+  private:
+    void push(double v);
+
+    std::size_t _capacity;
+    Merge _merge;
+    std::vector<double> _values;
+    std::uint64_t _points = 0;
+    std::uint64_t _stride = 1;
+    /** Raw windows accumulated toward the next stored value. */
+    double _carrySum = 0.0;
+    std::uint64_t _carryCount = 0;
+};
+
 /** Fixed-bucket histogram distribution. */
 class Distribution
 {
@@ -147,6 +241,10 @@ class Group
 
     Scalar &scalar(const std::string &stat_name);
     Average &average(const std::string &stat_name);
+    Histogram &histogram(const std::string &stat_name);
+    /** @p merge only applies on first creation of the stat. */
+    Series &series(const std::string &stat_name,
+                   Series::Merge merge = Series::Merge::Sum);
 
     const std::string &name() const { return _name; }
 
@@ -159,6 +257,14 @@ class Group
     {
         return _averages;
     }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return _histograms;
+    }
+    const std::map<std::string, Series> &allSeries() const
+    {
+        return _series;
+    }
 
     /** Write "group.stat value" lines to @p os. */
     void dump(std::ostream &os) const;
@@ -170,6 +276,8 @@ class Group
     std::string _name;
     std::map<std::string, Scalar> _scalars;
     std::map<std::string, Average> _averages;
+    std::map<std::string, Histogram> _histograms;
+    std::map<std::string, Series> _series;
 };
 
 } // namespace stats

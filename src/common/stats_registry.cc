@@ -27,6 +27,21 @@ StatsRegistry::group(const std::string &name)
     return *_owned.back();
 }
 
+Group &
+StatsRegistry::dynamicGroup(const std::string &name)
+{
+    auto it = _dynamic.find(name);
+    if (it == _dynamic.end())
+        it = _dynamic.emplace(name, std::make_unique<Group>(name)).first;
+    return *it->second;
+}
+
+void
+StatsRegistry::removeDynamicGroup(const std::string &name)
+{
+    _dynamic.erase(name);
+}
+
 const Group *
 StatsRegistry::find(const std::string &name) const
 {
@@ -34,13 +49,16 @@ StatsRegistry::find(const std::string &name) const
         if (g->name() == name)
             return g;
     }
-    return nullptr;
+    const auto it = _dynamic.find(name);
+    return it != _dynamic.end() ? it->second.get() : nullptr;
 }
 
 void
 StatsRegistry::dumpText(std::ostream &os) const
 {
     for (const Group *g : _groups)
+        g->dump(os);
+    for (const auto &[name, g] : _dynamic)
         g->dump(os);
 }
 
@@ -85,6 +103,65 @@ writeNumber(std::ostream &os, double v)
     }
 }
 
+/** One group as a JSON object body (between the outer braces). */
+void
+writeGroupJson(std::ostream &os, const Group &g)
+{
+    os << "\n  \"" << jsonEscape(g.name()) << "\": {";
+    bool first_stat = true;
+    for (const auto &[stat_name, s] : g.scalars()) {
+        if (!first_stat)
+            os << ",";
+        first_stat = false;
+        os << "\n    \"" << jsonEscape(stat_name) << "\": ";
+        writeNumber(os, s.value());
+    }
+    for (const auto &[stat_name, a] : g.averages()) {
+        if (!first_stat)
+            os << ",";
+        first_stat = false;
+        os << "\n    \"" << jsonEscape(stat_name)
+           << "\": {\"mean\": ";
+        writeNumber(os, a.mean());
+        os << ", \"count\": " << a.count() << ", \"min\": ";
+        writeNumber(os, a.min());
+        os << ", \"max\": ";
+        writeNumber(os, a.max());
+        os << "}";
+    }
+    for (const auto &[stat_name, h] : g.histograms()) {
+        if (!first_stat)
+            os << ",";
+        first_stat = false;
+        os << "\n    \"" << jsonEscape(stat_name)
+           << "\": {\"count\": " << h.count() << ", \"mean\": ";
+        writeNumber(os, h.mean());
+        os << ", \"min\": " << h.min()
+           << ", \"max\": " << h.max()
+           << ", \"p50\": " << h.quantile(0.5)
+           << ", \"p90\": " << h.quantile(0.9)
+           << ", \"p99\": " << h.quantile(0.99)
+           << ", \"p999\": " << h.quantile(0.999) << "}";
+    }
+    for (const auto &[stat_name, ts] : g.allSeries()) {
+        if (!first_stat)
+            os << ",";
+        first_stat = false;
+        os << "\n    \"" << jsonEscape(stat_name)
+           << "\": {\"points\": " << ts.points()
+           << ", \"stride\": " << ts.stride() << ", \"values\": [";
+        bool first_value = true;
+        for (const double v : ts.values()) {
+            if (!first_value)
+                os << ", ";
+            first_value = false;
+            writeNumber(os, v);
+        }
+        os << "]}";
+    }
+    os << "\n  }";
+}
+
 } // namespace
 
 void
@@ -96,29 +173,13 @@ StatsRegistry::dumpJson(std::ostream &os) const
         if (!first_group)
             os << ",";
         first_group = false;
-        os << "\n  \"" << jsonEscape(g->name()) << "\": {";
-        bool first_stat = true;
-        for (const auto &[stat_name, s] : g->scalars()) {
-            if (!first_stat)
-                os << ",";
-            first_stat = false;
-            os << "\n    \"" << jsonEscape(stat_name) << "\": ";
-            writeNumber(os, s.value());
-        }
-        for (const auto &[stat_name, a] : g->averages()) {
-            if (!first_stat)
-                os << ",";
-            first_stat = false;
-            os << "\n    \"" << jsonEscape(stat_name)
-               << "\": {\"mean\": ";
-            writeNumber(os, a.mean());
-            os << ", \"count\": " << a.count() << ", \"min\": ";
-            writeNumber(os, a.min());
-            os << ", \"max\": ";
-            writeNumber(os, a.max());
-            os << "}";
-        }
-        os << "\n  }";
+        writeGroupJson(os, *g);
+    }
+    for (const auto &[name, g] : _dynamic) {
+        if (!first_group)
+            os << ",";
+        first_group = false;
+        writeGroupJson(os, *g);
     }
     os << "\n}\n";
 }
@@ -139,6 +200,8 @@ void
 StatsRegistry::reset()
 {
     for (Group *g : _groups)
+        g->reset();
+    for (auto &[name, g] : _dynamic)
         g->reset();
 }
 

@@ -10,6 +10,7 @@
 #ifndef NEUMMU_COMMON_STATS_REGISTRY_HH
 #define NEUMMU_COMMON_STATS_REGISTRY_HH
 
+#include <map>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -46,8 +47,28 @@ class StatsRegistry
      */
     Group &group(const std::string &name);
 
+    /**
+     * Return the registry-owned *dynamic* group named @p name,
+     * creating it on first use. Dynamic groups form their own section
+     * dumped after every statically registered group, ordered by name
+     * rather than by creation time -- components that come and go
+     * mid-run (serving tenants) register here so the dump stays
+     * byte-identical no matter when each group first appeared.
+     */
+    Group &dynamicGroup(const std::string &name);
+
+    /** Drop the dynamic group named @p name, if present. */
+    void removeDynamicGroup(const std::string &name);
+
     /** All registered groups, in registration order. */
     const std::vector<Group *> &groups() const { return _groups; }
+
+    /** All dynamic groups, in name order. */
+    const std::map<std::string, std::unique_ptr<Group>> &
+    dynamicGroups() const
+    {
+        return _dynamic;
+    }
 
     /** Find a registered group by name; nullptr when absent. */
     const Group *find(const std::string &name) const;
@@ -70,6 +91,7 @@ class StatsRegistry
   private:
     std::vector<Group *> _groups;
     std::vector<std::unique_ptr<Group>> _owned;
+    std::map<std::string, std::unique_ptr<Group>> _dynamic;
 };
 
 /** Escape @p s for use inside a JSON string literal. */

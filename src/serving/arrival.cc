@@ -1,0 +1,218 @@
+#include "serving/arrival.hh"
+
+#include <cmath>
+
+namespace neummu {
+namespace serving {
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Fixed: return "fixed";
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Bursty: return "bursty";
+      case ArrivalKind::Diurnal: return "diurnal";
+    }
+    return "?";
+}
+
+bool
+arrivalKindFromName(const std::string &name, ArrivalKind &out)
+{
+    if (name == "fixed") {
+        out = ArrivalKind::Fixed;
+    } else if (name == "poisson") {
+        out = ArrivalKind::Poisson;
+    } else if (name == "bursty") {
+        out = ArrivalKind::Bursty;
+    } else if (name == "diurnal") {
+        out = ArrivalKind::Diurnal;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const std::vector<std::string> &
+arrivalKindNames()
+{
+    static const std::vector<std::string> names = {
+        "fixed", "poisson", "bursty", "diurnal",
+    };
+    return names;
+}
+
+namespace {
+
+/** Requests per cycle from the per-Mcycle knob, floored at ~0. */
+double
+perCycleRate(double rate_per_mcycle)
+{
+    const double r = rate_per_mcycle / 1e6;
+    return r > 1e-12 ? r : 1e-12;
+}
+
+/**
+ * Exponentially distributed gap with mean 1/rate, rounded up so every
+ * arrival advances time by at least one tick (strict monotonicity is
+ * what lets callers schedule each arrival as its own event).
+ */
+Tick
+expGap(Rng &rng, double rate)
+{
+    const double u = rng.uniform();
+    const double gap = -std::log(1.0 - u) / rate;
+    if (gap < 1.0)
+        return 1;
+    if (gap >= double(maxTick / 2))
+        return maxTick / 2;
+    return Tick(std::ceil(gap));
+}
+
+class FixedArrival : public ArrivalProcess
+{
+  public:
+    explicit FixedArrival(const ArrivalConfig &cfg)
+    {
+        const double gap = 1.0 / perCycleRate(cfg.ratePerMcycle);
+        _gap = gap < 1.0 ? 1 : Tick(std::llround(gap));
+    }
+
+    Tick
+    next() override
+    {
+        _now += _gap;
+        return _now;
+    }
+
+  private:
+    Tick _gap;
+    Tick _now = 0;
+};
+
+class PoissonArrival : public ArrivalProcess
+{
+  public:
+    PoissonArrival(const ArrivalConfig &cfg, std::uint64_t seed)
+        : _rate(perCycleRate(cfg.ratePerMcycle)), _rng(seed)
+    {
+    }
+
+    Tick
+    next() override
+    {
+        _now += expGap(_rng, _rate);
+        return _now;
+    }
+
+  private:
+    double _rate;
+    Rng _rng;
+    Tick _now = 0;
+};
+
+class BurstyArrival : public ArrivalProcess
+{
+  public:
+    BurstyArrival(const ArrivalConfig &cfg, std::uint64_t seed)
+        : _calmRate(perCycleRate(cfg.ratePerMcycle)),
+          _burstRate(_calmRate *
+                     (cfg.burstRatio < 1.0 ? 1.0 : cfg.burstRatio)),
+          _burstDwell(cfg.burstDwellCycles ? cfg.burstDwellCycles : 1),
+          _calmDwell(cfg.calmDwellCycles ? cfg.calmDwellCycles : 1),
+          _rng(seed)
+    {
+        _switchAt = expGap(_rng, 1.0 / double(_calmDwell));
+    }
+
+    Tick
+    next() override
+    {
+        // Draw in the current state; if the candidate lands past the
+        // state switch, advance to the switch and redraw (the
+        // exponential's memorylessness makes the redraw exact).
+        for (;;) {
+            const double rate = _inBurst ? _burstRate : _calmRate;
+            const Tick candidate = _now + expGap(_rng, rate);
+            if (candidate <= _switchAt) {
+                _now = candidate;
+                return _now;
+            }
+            _now = _switchAt;
+            _inBurst = !_inBurst;
+            const std::uint64_t dwell =
+                _inBurst ? _burstDwell : _calmDwell;
+            _switchAt = _now + expGap(_rng, 1.0 / double(dwell));
+        }
+    }
+
+  private:
+    double _calmRate;
+    double _burstRate;
+    std::uint64_t _burstDwell;
+    std::uint64_t _calmDwell;
+    Rng _rng;
+    Tick _now = 0;
+    Tick _switchAt = 0;
+    bool _inBurst = false;
+};
+
+class DiurnalArrival : public ArrivalProcess
+{
+  public:
+    DiurnalArrival(const ArrivalConfig &cfg, std::uint64_t seed)
+        : _meanRate(perCycleRate(cfg.ratePerMcycle)),
+          _amplitude(std::min(std::max(cfg.diurnalAmplitude, 0.0), 1.0)),
+          _period(cfg.diurnalPeriodCycles ? cfg.diurnalPeriodCycles
+                                          : 1),
+          _rng(seed)
+    {
+    }
+
+    Tick
+    next() override
+    {
+        // Lewis-Shedler thinning: homogeneous candidates at the peak
+        // rate, each kept with probability rate(t) / peakRate.
+        constexpr double twoPi = 6.283185307179586476925286766559;
+        const double peak = _meanRate * (1.0 + _amplitude);
+        for (;;) {
+            _now += expGap(_rng, peak);
+            const double phase =
+                twoPi * double(_now % _period) / double(_period);
+            const double rate =
+                _meanRate * (1.0 + _amplitude * std::sin(phase));
+            if (_rng.uniform() * peak <= rate)
+                return _now;
+        }
+    }
+
+  private:
+    double _meanRate;
+    double _amplitude;
+    std::uint64_t _period;
+    Rng _rng;
+    Tick _now = 0;
+};
+
+} // namespace
+
+std::unique_ptr<ArrivalProcess>
+ArrivalProcess::make(const ArrivalConfig &cfg, std::uint64_t seed)
+{
+    switch (cfg.kind) {
+      case ArrivalKind::Fixed:
+        return std::make_unique<FixedArrival>(cfg);
+      case ArrivalKind::Poisson:
+        return std::make_unique<PoissonArrival>(cfg, seed);
+      case ArrivalKind::Bursty:
+        return std::make_unique<BurstyArrival>(cfg, seed);
+      case ArrivalKind::Diurnal:
+        return std::make_unique<DiurnalArrival>(cfg, seed);
+    }
+    return std::make_unique<PoissonArrival>(cfg, seed);
+}
+
+} // namespace serving
+} // namespace neummu

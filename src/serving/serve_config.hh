@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Configuration of the open-loop serving layer. Lives in its own
+ * header so SystemConfig can embed it without pulling in the engine.
+ */
+
+#ifndef NEUMMU_SERVING_SERVE_CONFIG_HH
+#define NEUMMU_SERVING_SERVE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serving/arrival.hh"
+
+namespace neummu {
+namespace serving {
+
+/** Knobs of the open-loop serving layer (`serve.*` binder keys). */
+struct ServeConfig
+{
+    /** Master switch; off keeps the System purely closed-loop. */
+    bool enabled = false;
+
+    /** Arrival process driving request generation. */
+    ArrivalConfig arrival{};
+
+    /**
+     * Request footprint spec, request_model grammar
+     * ("embedding:footprint=4M,accesses=64").
+     */
+    std::string workload = "embedding";
+
+    /** NPU slots serving requests; 0 means every slot. */
+    unsigned slots = 0;
+
+    /** Concurrent tenants held at steady state. */
+    unsigned tenants = 4;
+
+    /**
+     * Requests after which a tenant retires (its address space is
+     * torn down and a fresh tenant admitted); 0 disables churn.
+     */
+    std::uint64_t tenantLifetimeRequests = 0;
+
+    /** Minimum gap between replacement admissions, cycles. */
+    std::uint64_t admitGapCycles = 0;
+
+    /** Cap on total admissions (0 = unlimited), a churn safety rail. */
+    std::uint64_t maxAdmissions = 0;
+
+    /**
+     * Leave tenant footprints unbacked and fault them in through the
+     * PagingEngine (which must be enabled); tenants then live on the
+     * paging home slot so eviction/shootdown churn continuously.
+     */
+    bool demandPaged = false;
+
+    /** SLO target: a request slower than this violates, cycles. */
+    std::uint64_t sloLatencyCycles = 500000;
+
+    /** Windowed-metric sampling period, cycles. */
+    std::uint64_t windowCycles = 250000;
+
+    /**
+     * Per-slot pending-request cap; arrivals beyond it are dropped
+     * (counted, never silently). 0 = unbounded queues.
+     */
+    std::uint64_t queueLimit = 0;
+};
+
+} // namespace serving
+} // namespace neummu
+
+#endif // NEUMMU_SERVING_SERVE_CONFIG_HH

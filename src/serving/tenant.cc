@@ -1,0 +1,120 @@
+#include "serving/tenant.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "system/system.hh"
+
+namespace neummu {
+namespace serving {
+
+namespace {
+
+std::string
+tenantName(std::uint64_t id)
+{
+    std::string digits = std::to_string(id);
+    if (digits.size() < 5)
+        digits.insert(0, 5 - digits.size(), '0');
+    return "t" + digits;
+}
+
+} // namespace
+
+TenantManager::TenantManager(System &system, const ServeConfig &cfg,
+                             const RequestModel &model,
+                             std::vector<unsigned> slots)
+    : _sys(system), _cfg(cfg), _model(model), _slots(std::move(slots))
+{
+    NEUMMU_ASSERT(!_slots.empty(), "tenant manager needs serving slots");
+}
+
+std::string
+TenantManager::statsGroupName(const std::string &tenant_name) const
+{
+    const std::string &base = _sys.config().name;
+    const std::string prefix =
+        base.empty() ? "serving" : base + ".serving";
+    return prefix + "." + tenant_name;
+}
+
+Tenant *
+TenantManager::admit()
+{
+    if (_cfg.maxAdmissions && _admitted >= _cfg.maxAdmissions)
+        return nullptr;
+
+    auto tenant = std::make_unique<Tenant>();
+    tenant->id = _admitted;
+    tenant->name = tenantName(tenant->id);
+    tenant->slot = _slots[tenant->id % _slots.size()];
+    // The access stream is keyed by the tenant NAME, not the slot, so
+    // re-admissions are fresh streams and slot remapping experiments
+    // do not silently correlate tenants.
+    tenant->rng = Rng(deriveSeed(
+        _sys.config().seed, hashString("serve.tenant." + tenant->name)));
+
+    if (_cfg.demandPaged) {
+        NEUMMU_ASSERT(_sys.hasPagingEngine(),
+                      "serve.demandPaged needs paging.enabled");
+        tenant->segment = _sys.addressSpace().allocateUnbacked(
+            tenant->name + ".footprint", _model.footprintBytes,
+            _sys.config().pageShift);
+    } else {
+        tenant->segment = _sys.addressSpace().allocateBacked(
+            tenant->name + ".footprint", _model.footprintBytes,
+            _sys.hbmNode(tenant->slot), _sys.config().pageShift);
+    }
+
+    stats::Group &g = _sys.statsRegistry().dynamicGroup(
+        statsGroupName(tenant->name));
+    g.scalar("slot").set(double(tenant->slot));
+    tenant->completedStat = &g.scalar("completed");
+    tenant->violationsStat = &g.scalar("sloViolations");
+    tenant->droppedStat = &g.scalar("dropped");
+    tenant->latencyStat = &g.average("latencyCycles");
+
+    Tenant *out = tenant.get();
+    _tenants.emplace(tenant->id, std::move(tenant));
+    _active.push_back(out);
+    _admitted++;
+    return out;
+}
+
+void
+TenantManager::beginDrain(Tenant &tenant)
+{
+    if (tenant.draining)
+        return;
+    tenant.draining = true;
+    _active.erase(std::remove(_active.begin(), _active.end(), &tenant),
+                  _active.end());
+}
+
+void
+TenantManager::retire(Tenant &tenant)
+{
+    NEUMMU_ASSERT(tenant.draining && tenant.pending == 0,
+                  "retiring tenant '" + tenant.name +
+                      "' with requests still pending");
+    _sys.releaseSegment(tenant.segment, tenant.slot);
+    _sys.statsRegistry().removeDynamicGroup(
+        statsGroupName(tenant.name));
+    _tenants.erase(tenant.id);
+    _retired++;
+}
+
+std::vector<const Tenant *>
+TenantManager::liveTenants() const
+{
+    std::vector<const Tenant *> out;
+    out.reserve(_tenants.size());
+    for (const auto &[id, tenant] : _tenants)
+        out.push_back(tenant.get());
+    // _tenants is keyed by admission id; names embed the id
+    // zero-padded, so id order IS name order.
+    return out;
+}
+
+} // namespace serving
+} // namespace neummu

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tenant lifecycle for serving mode. A tenant is one served model
+ * instance: a private VA footprint (its address space slice), a
+ * deterministic access-stream Rng, and per-tenant SLO counters. The
+ * TenantManager admits tenants (allocating footprints), drains them
+ * (they stop receiving new requests but finish what they have), and
+ * retires them -- tearing the footprint down page by page through the
+ * System's unmap -> shootdown -> frame-free discipline, so steady-state
+ * churn continuously exercises FrameAllocator recycling, page-table
+ * node reclaim, and system-wide translation shootdown.
+ *
+ * Per-tenant stats live in the registry's *dynamic* section (created
+ * at admit, removed at retire), whose name-sorted dump order is
+ * independent of churn timing.
+ */
+
+#ifndef NEUMMU_SERVING_TENANT_HH
+#define NEUMMU_SERVING_TENANT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "serving/serve_config.hh"
+#include "vm/address_space.hh"
+#include "workloads/request_model.hh"
+
+namespace neummu {
+
+class System;
+
+namespace serving {
+
+/** One live served model instance. */
+struct Tenant
+{
+    /** Admission index; also the identity in stats/digests. */
+    std::uint64_t id = 0;
+    /** Zero-padded name ("t00042"), stable sort order in dumps. */
+    std::string name;
+    /** NPU slot serving this tenant's requests. */
+    unsigned slot = 0;
+    /** Private VA footprint requests range over. */
+    Segment segment;
+    /** Deterministic access stream (seeded from the tenant name). */
+    Rng rng;
+
+    /** Arrivals routed to this tenant. */
+    std::uint64_t routed = 0;
+    /** Requests handed to the DMA (the stride-sequence cursor). */
+    std::uint64_t dispatched = 0;
+    std::uint64_t completed = 0;
+    /** Requests queued or in flight. */
+    std::uint64_t pending = 0;
+    /** Draining: no longer routed to; retires when pending hits 0. */
+    bool draining = false;
+
+    // Cached handles into the tenant's dynamic stats group.
+    stats::Scalar *completedStat = nullptr;
+    stats::Scalar *violationsStat = nullptr;
+    stats::Scalar *droppedStat = nullptr;
+    stats::Average *latencyStat = nullptr;
+};
+
+/**
+ * Admits, drains, and retires tenants on one System. Admission order,
+ * slot placement (round-robin over the serving slots), and footprint
+ * layout are pure functions of the admission index, so churn is
+ * reproducible run to run.
+ */
+class TenantManager
+{
+  public:
+    TenantManager(System &system, const ServeConfig &cfg,
+                  const RequestModel &model,
+                  std::vector<unsigned> slots);
+
+    /**
+     * Admit the next tenant: allocate its footprint (eagerly backed
+     * on its slot's HBM node, or unbacked for demand paging), create
+     * its dynamic stats group, and add it to the routable set.
+     * @return nullptr once serve.maxAdmissions is exhausted.
+     */
+    Tenant *admit();
+
+    /** Stop routing new requests to @p tenant. */
+    void beginDrain(Tenant &tenant);
+
+    /**
+     * Destroy @p tenant: release every mapped footprint page
+     * (unmap -> shootdown -> frame free) and drop its stats group.
+     * @pre tenant.draining and tenant.pending == 0.
+     */
+    void retire(Tenant &tenant);
+
+    /** Routable (non-draining) tenants, in admission order. */
+    const std::vector<Tenant *> &active() const { return _active; }
+
+    std::uint64_t admitted() const { return _admitted; }
+    std::uint64_t retired() const { return _retired; }
+    /** Tenants currently alive (active + draining). */
+    std::uint64_t live() const { return _tenants.size(); }
+
+    /** Live tenants in name order (report/debug surface). */
+    std::vector<const Tenant *> liveTenants() const;
+
+  private:
+    std::string statsGroupName(const std::string &tenant_name) const;
+
+    System &_sys;
+    const ServeConfig &_cfg;
+    const RequestModel &_model;
+    std::vector<unsigned> _slots;
+    std::map<std::uint64_t, std::unique_ptr<Tenant>> _tenants;
+    std::vector<Tenant *> _active;
+    std::uint64_t _admitted = 0;
+    std::uint64_t _retired = 0;
+};
+
+} // namespace serving
+} // namespace neummu
+
+#endif // NEUMMU_SERVING_TENANT_HH

@@ -3,8 +3,10 @@
 #include <cstdlib>
 
 #include "common/text.hh"
+#include "serving/arrival.hh"
 #include "system/embedding_system.hh"
 #include "workloads/models.hh"
+#include "workloads/request_model.hh"
 #include "workloads/workload_factory.hh"
 
 namespace neummu {
@@ -91,6 +93,38 @@ parseEviction(const std::string &key, const std::string &value)
     if (v == "lru")
         return EvictionPolicy::Lru;
     badValue(key, value, "clock|lru");
+}
+
+serving::ArrivalKind
+parseArrivalKind(const std::string &key, const std::string &value)
+{
+    serving::ArrivalKind kind;
+    if (serving::arrivalKindFromName(lowered(value), kind))
+        return kind;
+    std::string expect;
+    for (const std::string &name : serving::arrivalKindNames()) {
+        if (!expect.empty())
+            expect += "|";
+        expect += name;
+    }
+    badValue(key, value, expect);
+}
+
+/**
+ * The serve.workload spec is compiled at System construction; validate
+ * it at bind time so a typo fails the job, not the run.
+ */
+std::string
+parseRequestModelSpec(const std::string &key, const std::string &value)
+{
+    try {
+        requestModelFromSpecChecked(value);
+    } catch (const WorkloadError &err) {
+        throw BindError("bad value '" + value +
+                        "' for sweep config key " + key + ": " +
+                        err.what());
+    }
+    return value;
 }
 
 /**
@@ -284,6 +318,53 @@ applyOverride(SystemConfig &cfg, const std::string &key,
     } else if (key == "paging.writebackOnEvict") {
         cfg.paging.writebackOnEvict = parseBool(key, value);
 
+        // --- Open-loop serving ----------------------------------------
+    } else if (key == "serve.enabled") {
+        cfg.serve.enabled = parseBool(key, value);
+    } else if (key == "serve.process") {
+        cfg.serve.arrival.kind = parseArrivalKind(key, value);
+    } else if (key == "serve.ratePerMcycle") {
+        const double v = parseF64(key, value);
+        if (v <= 0.0)
+            badValue(key, value, "a positive rate");
+        cfg.serve.arrival.ratePerMcycle = v;
+    } else if (key == "serve.burstRatio") {
+        const double v = parseF64(key, value);
+        if (v < 1.0)
+            badValue(key, value, "a ratio >= 1");
+        cfg.serve.arrival.burstRatio = v;
+    } else if (key == "serve.burstDwell") {
+        cfg.serve.arrival.burstDwellCycles = parseU64(key, value);
+    } else if (key == "serve.calmDwell") {
+        cfg.serve.arrival.calmDwellCycles = parseU64(key, value);
+    } else if (key == "serve.diurnalPeriod") {
+        cfg.serve.arrival.diurnalPeriodCycles = parseU64(key, value);
+    } else if (key == "serve.diurnalAmplitude") {
+        const double v = parseF64(key, value);
+        if (v < 0.0 || v >= 1.0)
+            badValue(key, value, "an amplitude in [0,1)");
+        cfg.serve.arrival.diurnalAmplitude = v;
+    } else if (key == "serve.workload") {
+        cfg.serve.workload = parseRequestModelSpec(key, value);
+    } else if (key == "serve.slots") {
+        cfg.serve.slots = unsigned(parseU64(key, value));
+    } else if (key == "serve.tenants") {
+        cfg.serve.tenants = unsigned(parseU64(key, value));
+    } else if (key == "serve.lifetimeRequests") {
+        cfg.serve.tenantLifetimeRequests = parseU64(key, value);
+    } else if (key == "serve.admitGap") {
+        cfg.serve.admitGapCycles = parseU64(key, value);
+    } else if (key == "serve.maxAdmissions") {
+        cfg.serve.maxAdmissions = parseU64(key, value);
+    } else if (key == "serve.demandPaged") {
+        cfg.serve.demandPaged = parseBool(key, value);
+    } else if (key == "serve.sloLatency") {
+        cfg.serve.sloLatencyCycles = parseU64(key, value);
+    } else if (key == "serve.window") {
+        cfg.serve.windowCycles = parseU64(key, value);
+    } else if (key == "serve.queueLimit") {
+        cfg.serve.queueLimit = parseU64(key, value);
+
         // --- Simulation kernel ----------------------------------------
     } else if (key == "sim.shards") {
         cfg.sim.shards = unsigned(parseU64(key, value));
@@ -350,6 +431,27 @@ binderKeyTable()
         {"paging.faultLatency", "OS fault-handling overhead (cycles)"},
         {"paging.homeNode", "NPU slot whose node the engine manages"},
         {"paging.writebackOnEvict", "0|1: charge write-back migration"},
+        {"serve.enabled", "0|1: open-loop serving layer (ServingEngine)"},
+        {"serve.process", "fixed|poisson|bursty|diurnal arrivals"},
+        {"serve.ratePerMcycle", "mean arrival rate, requests/Mcycle"},
+        {"serve.burstRatio", "bursty: burst-state rate multiplier"},
+        {"serve.burstDwell", "bursty: mean burst dwell (cycles)"},
+        {"serve.calmDwell", "bursty: mean calm dwell (cycles)"},
+        {"serve.diurnalPeriod", "diurnal: rate-cycle period (cycles)"},
+        {"serve.diurnalAmplitude", "diurnal: swing in [0,1)"},
+        {"serve.workload", "request-model spec (dense|embedding|"
+                           "synthetic[:k=v,...])"},
+        {"serve.slots", "serving NPU slots (0 = all)"},
+        {"serve.tenants", "concurrent tenants at steady state"},
+        {"serve.lifetimeRequests", "requests per tenant before "
+                                   "retirement (0 = no churn)"},
+        {"serve.admitGap", "min gap between admissions (cycles)"},
+        {"serve.maxAdmissions", "total admission cap (0 = unlimited)"},
+        {"serve.demandPaged", "0|1: fault tenant pages through the "
+                              "PagingEngine (needs paging.enabled)"},
+        {"serve.sloLatency", "SLO latency target (cycles)"},
+        {"serve.window", "windowed-metric sampling period (cycles)"},
+        {"serve.queueLimit", "per-slot pending cap; 0 = unbounded"},
         {"sim.shards", "0 = legacy serial kernel; >=1 = sharded "
                        "domain kernel with that many NPU shards"},
         {"sim.hopTicks", "NPU<->hub hop latency = lookahead (>=1)"},
@@ -365,13 +467,30 @@ binderKeyTable()
 std::string
 binderHelp()
 {
+    // Keys sharing a dotted prefix render under one group header; the
+    // table is already laid out group-by-group, so a plain scan works.
     std::string out;
+    std::string group;
+    bool first = true;
     for (const BinderKeyDoc &doc : binderKeyTable()) {
+        const std::string key = doc.key;
+        const std::size_t dot = key.find('.');
+        const std::string prefix =
+            dot == std::string::npos ? "system" : key.substr(0, dot);
+        if (prefix != group) {
+            if (!first)
+                out += "\n";
+            out += prefix;
+            if (dot != std::string::npos)
+                out += ".*";
+            out += ":\n";
+            group = prefix;
+            first = false;
+        }
         out += "  ";
-        out += doc.key;
-        std::size_t pad = 28;
-        const std::size_t len = std::string(doc.key).size();
-        out.append(pad > len ? pad - len : 1, ' ');
+        out += key;
+        const std::size_t pad = 28;
+        out.append(pad > key.size() ? pad - key.size() : 1, ' ');
         out += doc.doc;
         out += "\n";
     }

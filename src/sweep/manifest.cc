@@ -1,5 +1,6 @@
 #include "sweep/manifest.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <set>
@@ -92,7 +93,17 @@ jobFromLine(const JsonValue &line, const std::string &what,
         }
     }
 
-    if (job.workloads.empty())
+    // A job that turns on the serving layer generates its own traffic
+    // open-loop; everything else needs at least one workload. The
+    // run-time binder re-checks against the final config, so a
+    // "serve.enabled": 0 override still fails -- just per-job instead
+    // of killing the whole manifest.
+    const bool serves = std::any_of(
+        job.overrides.begin(), job.overrides.end(),
+        [](const std::pair<std::string, std::string> &kv) {
+            return kv.first.rfind("serve.", 0) == 0;
+        });
+    if (job.workloads.empty() && !serves)
         throw ManifestError(what + ": job '" + job.id +
                             "' has no workloads");
     return job;

@@ -46,8 +46,13 @@ SweepEngine::runDeclarative(const JobSpec &spec)
     SystemConfig cfg = spec.base;
     applyOverrides(cfg, spec.overrides);
 
-    if (spec.workloads.empty())
+    // A serving job generates its own traffic open-loop, so an empty
+    // workload list is legal there -- but it must bound the run.
+    if (spec.workloads.empty() && !cfg.serve.enabled)
         throw BindError("job '" + spec.id + "' has no workloads");
+    if (cfg.serve.enabled && spec.limit == maxTick)
+        throw BindError("job '" + spec.id + "' enables serving but "
+                        "has no cycle limit (open-loop runs forever)");
     std::vector<std::unique_ptr<Workload>> workloads;
     workloads.reserve(spec.workloads.size());
     for (const std::string &wl_spec : spec.workloads)

@@ -158,6 +158,23 @@ PagingEngine::installResident(Addr page_va)
                                             _resident.size());
 }
 
+bool
+PagingEngine::releasePage(Addr page_va)
+{
+    const Addr page = pageBase(page_va, _pageShift);
+    if (!_resident.contains(page))
+        return false;
+    const bool removed = _resident.remove(page);
+    NEUMMU_ASSERT(removed, "resident-set tracking lost");
+    const UnmapResult um = _sys.pageTable().unmap(page);
+    NEUMMU_ASSERT(um.unmapped, "resident page was not mapped");
+    _sys.mmu().shootdown(page, um);
+    _shootdowns++;
+    _sys.hbmNode(_cfg.homeNode).free(um.frame, _pageBytes);
+    _released++;
+    return true;
+}
+
 void
 PagingEngine::refreshStats()
 {
@@ -176,6 +193,10 @@ PagingEngine::refreshStats()
     set("writebackBytes", _writebackBytes);
     set("stallCycles", _stallCycles);
     set("residentPeakPages", _residentPeak);
+    // Only present once segment teardown has happened, so the golden
+    // dumps of the pre-serving scenarios stay byte-identical.
+    if (_released)
+        set("releasedPages", _released);
 }
 
 } // namespace neummu

@@ -100,6 +100,16 @@ class PagingEngine
      */
     void installResident(Addr page_va);
 
+    /**
+     * Permanently release the page containing @p page_va (its VA
+     * region is being destroyed, not evicted): unmap, shoot down, and
+     * recycle the frame with no write-back -- the data has no owner
+     * to write back for. The tenant-retirement path.
+     * @return False when the page is not under this engine's
+     *         management (caller handles it, or it was never mapped).
+     */
+    bool releasePage(Addr page_va);
+
     const PagingConfig &config() const { return _cfg; }
     const ResidentSet &residentSet() const { return _resident; }
     std::uint64_t maxResidentPages() const { return _maxResidentPages; }
@@ -111,6 +121,8 @@ class PagingEngine
     /** Soft-cap overshoots (no quiet victim at fault time). */
     std::uint64_t overcommits() const { return _overcommits; }
     std::uint64_t evictions() const { return _evictions; }
+    /** Pages released through segment teardown (tenant churn). */
+    std::uint64_t releasedPages() const { return _released; }
     std::uint64_t shootdowns() const { return _shootdowns; }
     std::uint64_t fetchedBytes() const { return _fetchedBytes; }
     std::uint64_t writebackBytes() const { return _writebackBytes; }
@@ -155,6 +167,7 @@ class PagingEngine
     std::uint64_t _coalescedFaults = 0;
     std::uint64_t _overcommits = 0;
     std::uint64_t _evictions = 0;
+    std::uint64_t _released = 0;
     std::uint64_t _shootdowns = 0;
     std::uint64_t _fetchedBytes = 0;
     std::uint64_t _writebackBytes = 0;

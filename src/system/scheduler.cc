@@ -1,6 +1,7 @@
 #include "system/scheduler.hh"
 
 #include "common/logging.hh"
+#include "serving/serving_engine.hh"
 #include "system/system.hh"
 
 namespace neummu {
@@ -51,7 +52,16 @@ Scheduler::workload(std::size_t idx) const
 SchedulerResult
 Scheduler::run(Tick limit)
 {
-    NEUMMU_ASSERT(!_entries.empty(), "scheduler has no workloads");
+    NEUMMU_ASSERT(!_entries.empty() || _system.hasServingEngine(),
+                  "scheduler has no workloads and serving is disabled");
+    if (_system.hasServingEngine()) {
+        // Open-loop: the arrival process generates traffic forever,
+        // so the run is bounded by time, not by workload completion.
+        NEUMMU_ASSERT(limit != maxTick,
+                      "open-loop serving runs forever: pass a finite "
+                      "cycle limit to Scheduler::run");
+        _system.servingEngine().start();
+    }
 
     for (Entry &entry : _entries) {
         entry.stallAtStart = _system.dma(entry.npu).stallCycles();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "serving/serving_engine.hh"
 
 namespace neummu {
 
@@ -52,6 +53,19 @@ System::System(SystemConfig cfg)
             hub_npus = std::min(
                 std::max(hub_npus, _cfg.paging.homeNode + 1),
                 _cfg.numNpus);
+        }
+        if (_cfg.serve.enabled) {
+            // Serving machinery (arrivals, routing, tenant churn)
+            // mutates host state synchronously on the hub queue; the
+            // serving slots must share it. Because this raise is a
+            // pure function of the config -- never of shards/threads
+            // -- the queue partition, and therefore the dump, is
+            // identical for every sim.shards >= 1.
+            const unsigned serve_slots =
+                _cfg.serve.slots
+                    ? std::min(_cfg.serve.slots, _cfg.numNpus)
+                    : _cfg.numNpus;
+            hub_npus = std::max(hub_npus, serve_slots);
         }
         const unsigned remote = _cfg.numNpus - hub_npus;
         _npuQueue.resize(_cfg.numNpus);
@@ -158,6 +172,15 @@ System::System(SystemConfig cfg)
         _paging = std::make_unique<PagingEngine>(*this, _cfg.paging);
         _stats.add(_paging->stats());
         _stats.add(_paging->linkStats());
+    }
+
+    // The serving engine comes after paging: it may route demand-paged
+    // tenants through the fault path, and its retire path frees frames
+    // back to the nodes built above.
+    if (_cfg.serve.enabled) {
+        _serving =
+            std::make_unique<serving::ServingEngine>(*this, _cfg.serve);
+        _stats.add(_serving->stats());
     }
 
     // System-level counters live in a registry-owned group so they
@@ -275,12 +298,40 @@ System::pagingEngine()
     return *_paging;
 }
 
+serving::ServingEngine &
+System::servingEngine()
+{
+    NEUMMU_ASSERT(_serving,
+                  "serving engine is disabled on this system "
+                  "(serve.enabled=0)");
+    return *_serving;
+}
+
+void
+System::releaseSegment(const Segment &segment, unsigned owner_slot)
+{
+    const std::uint64_t page_bytes = pageSize(segment.pageShift);
+    for (Addr va = segment.base; va < segment.end(); va += page_bytes) {
+        // Pages the paging engine fetched must leave through it so
+        // its resident set and the managed node stay coherent.
+        if (_paging && _paging->releasePage(va))
+            continue;
+        if (!_pageTable.isMapped(va))
+            continue;
+        const UnmapResult um = _pageTable.unmap(va);
+        _mmu->shootdown(va, um);
+        hbmNode(owner_slot).free(um.frame, page_bytes);
+    }
+}
+
 void
 System::refreshSystemStats()
 {
     _mmu->refreshStats();
     if (_paging)
         _paging->refreshStats();
+    if (_serving)
+        _serving->refreshStats();
     stats::Group &sim = _stats.group(prefixed(_cfg.name, "sim"));
     stats::Scalar &ticks = sim.scalar("simTicks");
     ticks.reset();

@@ -32,6 +32,7 @@
 #include "npu/dma_engine.hh"
 #include "npu/npu_config.hh"
 #include "npu/tile_pipeline.hh"
+#include "serving/serve_config.hh"
 #include "sim/domain.hh"
 #include "sim/event_queue.hh"
 #include "system/paging_engine.hh"
@@ -41,6 +42,10 @@
 #include "vm/page_table.hh"
 
 namespace neummu {
+
+namespace serving {
+class ServingEngine;
+} // namespace serving
 
 /**
  * Simulation-kernel execution/model knobs (ConfigBinder group
@@ -155,6 +160,18 @@ struct SystemConfig
      *  single-queue kernel). */
     SimConfig sim{};
 
+    // --- Open-loop serving -----------------------------------------
+    /**
+     * Serving-mode knobs (ConfigBinder group "serve.*"). Disabled
+     * (the default) keeps the System purely closed-loop; enabled, the
+     * System owns a ServingEngine that generates open-loop request
+     * arrivals over churning tenants. Under sim.shards >= 1 the
+     * serving slots are auto-raised onto the hub queue (like
+     * paging.homeNode), so the dump stays byte-identical across
+     * shard/thread counts.
+     */
+    serving::ServeConfig serve{};
+
     // --- Page table / VA layout ------------------------------------
     /** Page size of the translation stream (12 or 21). */
     unsigned pageShift = smallPageShift;
@@ -264,6 +281,21 @@ class System
     /** @pre hasPagingEngine() */
     PagingEngine &pagingEngine();
 
+    /**
+     * Tear down every mapped page of @p segment: pages the paging
+     * engine manages go through its release path; the rest are
+     * unmapped, shot down system-wide, and their frames returned to
+     * NPU slot @p owner_slot's node. The tenant-retirement primitive;
+     * the caller guarantees no translation activity is in flight on
+     * the segment's pages.
+     */
+    void releaseSegment(const Segment &segment, unsigned owner_slot);
+
+    // --- Open-loop serving -----------------------------------------
+    bool hasServingEngine() const { return _serving != nullptr; }
+    /** @pre hasServingEngine() */
+    serving::ServingEngine &servingEngine();
+
     // --- Statistics ------------------------------------------------
     /** Every component's counters, registered at construction. */
     stats::StatsRegistry &statsRegistry() { return _stats; }
@@ -300,6 +332,7 @@ class System
     std::unique_ptr<MmuCore> _mmu;
     std::unique_ptr<TranslationRouter> _router;
     std::unique_ptr<PagingEngine> _paging;
+    std::unique_ptr<serving::ServingEngine> _serving;
     std::unique_ptr<FrameAllocator> _sharedHbm;
     std::unique_ptr<MemoryModel> _sharedMem;
     std::vector<Npu> _npus;

@@ -1,0 +1,212 @@
+#include "workloads/request_model.hh"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/text.hh"
+#include "workloads/workload_factory.hh"
+
+namespace neummu {
+
+namespace {
+
+std::string
+joined(const std::vector<std::string> &items, const char *sep)
+{
+    std::string out;
+    for (const std::string &item : items) {
+        if (!out.empty())
+            out += sep;
+        out += item;
+    }
+    return out;
+}
+
+std::uint64_t
+takeUint(std::map<std::string, std::string> &params,
+         const std::string &key, std::uint64_t fallback)
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        return fallback;
+    const std::uint64_t v = parseSizeBytesChecked(it->second);
+    params.erase(it);
+    return v;
+}
+
+double
+takeDouble(std::map<std::string, std::string> &params,
+           const std::string &key, double fallback)
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        throw WorkloadError("malformed number '" + it->second +
+                            "' for request model parameter " + key);
+    params.erase(it);
+    return v;
+}
+
+std::string
+take(std::map<std::string, std::string> &params, const std::string &key,
+     const std::string &fallback)
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        return fallback;
+    std::string value = it->second;
+    params.erase(it);
+    return value;
+}
+
+void
+rejectLeftovers(const std::string &kind,
+                const std::map<std::string, std::string> &params)
+{
+    if (params.empty())
+        return;
+    std::string keys;
+    for (const auto &[key, value] : params) {
+        (void)value;
+        keys += (keys.empty() ? "" : ", ") + key;
+    }
+    throw WorkloadError("unknown " + kind +
+                        " request model parameter(s): " + keys);
+}
+
+/**
+ * Request-model pattern names; PointerChase is excluded because a
+ * request is one batched DMA fetch -- there is no dependent-access
+ * chain to model inside it.
+ */
+SyntheticPattern
+requestPatternFromName(const std::string &name)
+{
+    const std::string want = lowered(name);
+    if (want == "stride")
+        return SyntheticPattern::Stride;
+    if (want == "uniform")
+        return SyntheticPattern::UniformRandom;
+    if (want == "hotset")
+        return SyntheticPattern::HotSet;
+    throw WorkloadError("unknown request model pattern '" + name +
+                        "' (stride|uniform|hotset)");
+}
+
+void
+validate(const RequestModel &m)
+{
+    if (m.accessBytes == 0)
+        throw WorkloadError("request model bytes must be > 0");
+    if (m.accessesPerRequest == 0)
+        throw WorkloadError("request model accesses must be > 0");
+    if (m.strideBytes == 0)
+        throw WorkloadError("request model stride must be > 0");
+    if (m.footprintBytes < m.accessBytes)
+        throw WorkloadError(
+            "request model footprint smaller than one access");
+}
+
+} // namespace
+
+RequestModel
+requestModelFromSpecChecked(const std::string &text)
+{
+    WorkloadSpec spec = parseWorkloadSpec(text);
+    std::map<std::string, std::string> params =
+        std::move(spec.params);
+
+    RequestModel m;
+    if (spec.kind == "dense") {
+        m.pattern = SyntheticPattern::Stride;
+        m.footprintBytes = 8 * MiB;
+        m.accessesPerRequest = 128;
+        m.accessBytes = 4 * KiB;
+        m.strideBytes = 4 * KiB;
+    } else if (spec.kind == "embedding") {
+        m.pattern = SyntheticPattern::UniformRandom;
+        m.footprintBytes = 4 * MiB;
+        m.accessesPerRequest = 64;
+        m.accessBytes = 512;
+    } else if (spec.kind == "synthetic") {
+        m.pattern = requestPatternFromName(
+            take(params, "pattern", "stride"));
+        m.footprintBytes = 4 * MiB;
+        m.accessesPerRequest = 64;
+        m.accessBytes = 1 * KiB;
+    } else {
+        throw WorkloadError("unknown request model kind '" + spec.kind +
+                            "'; valid kinds:\n  " +
+                            joined(listRequestModels(), "\n  "));
+    }
+
+    m.footprintBytes = takeUint(params, "footprint", m.footprintBytes);
+    m.accessesPerRequest =
+        takeUint(params, "accesses", m.accessesPerRequest);
+    m.accessBytes = takeUint(params, "bytes", m.accessBytes);
+    if (spec.kind != "embedding")
+        m.strideBytes = takeUint(params, "stride", m.strideBytes);
+    if (spec.kind == "synthetic") {
+        m.hotFraction = takeDouble(params, "hot", m.hotFraction);
+        m.hotProbability = takeDouble(params, "phot", m.hotProbability);
+    }
+    rejectLeftovers(spec.kind, params);
+    validate(m);
+    return m;
+}
+
+std::vector<std::string>
+listRequestModels()
+{
+    return {
+        "dense: footprint=SZ accesses=N bytes=SZ stride=SZ",
+        "embedding: footprint=SZ accesses=N bytes=SZ",
+        "synthetic: pattern=stride|uniform|hotset footprint=SZ "
+        "accesses=N bytes=SZ stride=SZ hot=F phot=F",
+    };
+}
+
+void
+buildRequestRuns(const RequestModel &model, const Segment &segment,
+                 std::uint64_t req_index, Rng &rng,
+                 std::vector<VaRun> &out)
+{
+    out.clear();
+    out.reserve(model.accessesPerRequest);
+    const std::uint64_t span =
+        segment.bytes - model.accessBytes + 1;
+    const std::uint64_t hot_bytes = std::min<std::uint64_t>(
+        span,
+        std::max<std::uint64_t>(
+            model.accessBytes,
+            std::uint64_t(model.hotFraction *
+                          double(segment.bytes))));
+    for (std::uint64_t i = 0; i < model.accessesPerRequest; i++) {
+        std::uint64_t off = 0;
+        switch (model.pattern) {
+          case SyntheticPattern::Stride:
+            off = ((req_index * model.accessesPerRequest + i) *
+                   model.strideBytes) %
+                  span;
+            break;
+          case SyntheticPattern::UniformRandom:
+          case SyntheticPattern::PointerChase:
+            off = rng.range(span);
+            break;
+          case SyntheticPattern::HotSet:
+            if (rng.uniform() < model.hotProbability ||
+                hot_bytes >= span) {
+                off = rng.range(hot_bytes);
+            } else {
+                off = hot_bytes + rng.range(span - hot_bytes);
+            }
+            break;
+        }
+        out.push_back({segment.base + off, model.accessBytes});
+    }
+}
+
+} // namespace neummu

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Request instantiation for serving mode: a RequestModel describes the
+ * DMA/translation footprint of ONE inference request of a workload
+ * kind, compiled from the same compact spec grammar the workload
+ * factory uses ("embedding:footprint=4M,accesses=64"). The
+ * ServingEngine stamps out one instance per arrival instead of running
+ * a closed-loop batch job to completion.
+ *
+ * Spec grammar:  kind[:key=value[,key=value...]]
+ *
+ *   dense      footprint=SZ accesses=N bytes=SZ stride=SZ
+ *              (sequential stride walk -- dense-DNN-like locality)
+ *   embedding  footprint=SZ accesses=N bytes=SZ
+ *              (uniform random gathers -- embedding-lookup-like)
+ *   synthetic  pattern=stride|uniform|hotset footprint=SZ accesses=N
+ *              bytes=SZ stride=SZ hot=F phot=F
+ *
+ * Sizes accept K/M/G suffixes. Unknown kinds/keys throw WorkloadError
+ * with the valid alternatives enumerated, mirroring the factory.
+ */
+
+#ifndef NEUMMU_WORKLOADS_REQUEST_MODEL_HH
+#define NEUMMU_WORKLOADS_REQUEST_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "npu/tile.hh"
+#include "vm/address_space.hh"
+#include "workloads/synthetic_workload.hh"
+
+namespace neummu {
+
+/** The translation/DMA footprint of one inference request. */
+struct RequestModel
+{
+    SyntheticPattern pattern = SyntheticPattern::UniformRandom;
+    /** Per-tenant VA footprint requests range over. */
+    std::uint64_t footprintBytes = 4 * MiB;
+    /** DMA accesses (VaRuns) issued per request. */
+    std::uint64_t accessesPerRequest = 64;
+    /** Bytes per access. */
+    std::uint64_t accessBytes = 512;
+    /** Stride pattern: distance between consecutive accesses. */
+    std::uint64_t strideBytes = 4 * KiB;
+    /** HotSet: leading fraction of the footprint that is hot. */
+    double hotFraction = 0.125;
+    /** HotSet: probability an access falls in the hot region. */
+    double hotProbability = 0.9;
+};
+
+/**
+ * Compile @p text ("kind:k=v,...") into a RequestModel. Throws
+ * WorkloadError on unknown kinds/keys/values, enumerating the valid
+ * alternatives.
+ */
+RequestModel requestModelFromSpecChecked(const std::string &text);
+
+/** Per-kind parameter summaries (error/help enumeration). */
+std::vector<std::string> listRequestModels();
+
+/**
+ * Materialize the VaRuns of request number @p req_index into @p out
+ * (cleared first). The stride pattern is continuous across a tenant's
+ * request sequence (request N+1 picks up where N left off, modulo the
+ * footprint); random patterns draw from @p rng, which the caller
+ * derives per tenant so co-tenant interleaving never perturbs a
+ * tenant's own access stream.
+ */
+void buildRequestRuns(const RequestModel &model, const Segment &segment,
+                      std::uint64_t req_index, Rng &rng,
+                      std::vector<VaRun> &out);
+
+} // namespace neummu
+
+#endif // NEUMMU_WORKLOADS_REQUEST_MODEL_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * neummu_serve: run one System in open-loop serving mode and print an
+ * SLO report. The serving front door of the simulator -- where
+ * neummu_sweep runs closed-loop jobs to completion, this drives an
+ * arrival process over a churning tenant population for a fixed
+ * number of cycles and reports tail latency the way a production
+ * serving stack would.
+ *
+ *   neummu_serve --cycles=10000000 \
+ *       --set="numNpus=8;serve.process=poisson;serve.tenants=16"
+ *   neummu_serve --set="serve.process=bursty" --json=- --report=0
+ *
+ * Options:
+ *   --set=K=V;K=V;...   ConfigBinder overrides (serve.enabled is
+ *                       forced on; see --list-keys for the table)
+ *   --cycles=N          simulated cycles to run (default 2000000)
+ *   --seed=N            root seed (shorthand for --set=seed=N)
+ *   --json=FILE         write the full stats dump as JSON; "-" for
+ *                       stdout
+ *   --report=0|1        print the human SLO report (default 1)
+ *   --tenants=0|1       include the per-tenant table in the report
+ *                       (default 1)
+ *   --quiet=1           suppress everything but explicit outputs
+ *   --list-keys         print the ConfigBinder key table and exit
+ *
+ * Exit codes: 0 success; 1 usage/config error.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/arg_parser.hh"
+#include "common/logging.hh"
+#include "serving/serving_engine.hh"
+#include "sweep/config_binder.hh"
+#include "system/scheduler.hh"
+#include "system/system.hh"
+
+using namespace neummu;
+
+namespace {
+
+void
+printReport(const serving::ServeReport &rep, const serving::ServeConfig &cfg,
+            Tick cycles, bool tenant_table)
+{
+    std::printf("=== serving report (%llu cycles) ===\n",
+                (unsigned long long)cycles);
+    std::printf("  arrivals      %llu\n",
+                (unsigned long long)rep.arrivals);
+    std::printf("  completed     %llu\n",
+                (unsigned long long)rep.completed);
+    std::printf("  dropped       %llu\n",
+                (unsigned long long)rep.dropped);
+    std::printf("  unrouted      %llu\n",
+                (unsigned long long)rep.unrouted);
+    std::printf("  tenants       live=%llu admitted=%llu "
+                "retired=%llu\n",
+                (unsigned long long)rep.liveTenants,
+                (unsigned long long)rep.admitted,
+                (unsigned long long)rep.retired);
+    std::printf("  latency       mean=%.1f p50=%llu p90=%llu "
+                "p99=%llu p999=%llu cycles\n",
+                rep.meanLatency, (unsigned long long)rep.p50,
+                (unsigned long long)rep.p90,
+                (unsigned long long)rep.p99,
+                (unsigned long long)rep.p999);
+    std::printf("  slo           target=%llu cycles  violations=%llu"
+                "  goodput=%.4f\n",
+                (unsigned long long)cfg.sloLatencyCycles,
+                (unsigned long long)rep.sloViolations, rep.goodput);
+    if (!tenant_table || rep.tenants.empty())
+        return;
+    std::printf("  %-8s %-5s %12s %12s %8s %s\n", "tenant", "slot",
+                "completed", "violations", "pending", "state");
+    for (const serving::ServeReport::TenantLine &t : rep.tenants)
+        std::printf("  %-8s %-5u %12llu %12llu %8llu %s\n",
+                    t.name.c_str(), t.slot,
+                    (unsigned long long)t.completed,
+                    (unsigned long long)t.violations,
+                    (unsigned long long)t.pending,
+                    t.draining ? "draining" : "running");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ArgParser args(argc, argv);
+
+    if (args.getBool("list-keys", false)) {
+        std::printf("ConfigBinder keys (--set entries; serve.* is "
+                    "the serving layer):\n%s",
+                    sweep::binderHelp().c_str());
+        return 0;
+    }
+
+    const Tick cycles = Tick(args.getInt("cycles", 2000000));
+    if (cycles == 0 || cycles == maxTick)
+        NEUMMU_FATAL("--cycles must be a finite positive cycle "
+                     "count (open-loop serving runs forever)");
+    // "--json=-" owns stdout: everything else is suppressed so the
+    // output parses as one JSON document.
+    const bool quiet = args.getBool("quiet", false) ||
+                       args.get("json", "") == "-";
+
+    try {
+        SystemConfig cfg;
+        for (const std::string &entry :
+             args.getList("set", "", ';')) {
+            const auto [key, value] = sweep::parseOverride(entry);
+            sweep::applyOverride(cfg, key, value);
+        }
+        // This binary IS serving mode; saying so twice is harmless.
+        cfg.serve.enabled = true;
+        if (args.has("seed"))
+            cfg.seed = std::uint64_t(args.getInt("seed", 0));
+
+        System system(cfg);
+        Scheduler scheduler(system);
+        if (!quiet)
+            std::printf("serving: %u NPU(s), %s arrivals at "
+                        "%.1f req/Mcycle, %u tenant(s), %llu "
+                        "cycles\n",
+                        system.numNpus(),
+                        serving::arrivalKindName(
+                            cfg.serve.arrival.kind),
+                        cfg.serve.arrival.ratePerMcycle,
+                        cfg.serve.tenants,
+                        (unsigned long long)cycles);
+        scheduler.run(cycles);
+
+        const serving::ServingEngine &engine =
+            system.servingEngine();
+        if (args.getBool("report", true) && !quiet)
+            printReport(engine.report(), engine.config(),
+                        system.now(), args.getBool("tenants", true));
+
+        const std::string json_path = args.get("json", "");
+        if (json_path == "-") {
+            system.dumpStatsJson(std::cout);
+        } else if (!json_path.empty()) {
+            if (!system.writeStatsJsonFile(json_path))
+                NEUMMU_FATAL("cannot write JSON dump to " +
+                             json_path);
+            if (!quiet)
+                std::printf("wrote stats JSON to %s\n",
+                            json_path.c_str());
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        NEUMMU_FATAL(e.what());
+    }
+}
