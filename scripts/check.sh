@@ -146,7 +146,7 @@ if ! grep -q '"ok": false' "$SMOKE_JSON"; then
 fi
 echo "sweep smoke report: $SMOKE_JSON"
 
-# Parallel golden matrix, CLI path: the 14-config matrix must merge
+# Parallel golden matrix, CLI path: the 16-config matrix must merge
 # byte-identically whether run on 1 thread or N. (test_golden_stats
 # pins the same property in-process, plus each dump against its
 # golden file.)
@@ -281,3 +281,66 @@ for key in '"serving.churn64"' '"serving.steady"' '"p50"' '"p99"' \
   fi
 done
 echo "serving report: $SERVING_JSON"
+
+# --- Design-zoo gates --------------------------------------------------
+# The MMU design zoo: every registered translation design crossed
+# with the dense/embedding/hot-set/serving points, plus one
+# deliberately unknown design (bad_design) the factory must reject
+# without killing the sweep -- the manifest-level failure-isolation
+# gate for the design registry.
+if [[ ! -f scripts/design_zoo.jsonl ]]; then
+  echo "error: sweep manifest scripts/design_zoo.jsonl is missing" >&2
+  exit 1
+fi
+ZOO_SWEEP="$BUILD_DIR/BENCH_design_zoo_sweep.json"
+"$BUILD_DIR/neummu_sweep" --manifest=scripts/design_zoo.jsonl -j 2 \
+    --timing=0 --json="$ZOO_SWEEP" > /dev/null
+if ! grep -q '"failures": 1' "$ZOO_SWEEP"; then
+  echo "error: design-zoo sweep did not report exactly 1 failed" \
+       "job (bad_design)" >&2
+  exit 1
+fi
+if ! grep -q '"ok": false' "$ZOO_SWEEP"; then
+  echo "error: design-zoo sweep lost the failed job's record" >&2
+  exit 1
+fi
+# The unknown-design error must enumerate the registry, so a typo'd
+# design name is self-correcting from the merged report alone.
+if ! grep -q 'oracle|iommu|neummu|custom|range|pomtlb|nmt' \
+    "$ZOO_SWEEP"; then
+  echo "error: bad_design error does not enumerate the registered" \
+       "designs" >&2
+  exit 1
+fi
+
+# Byte-identity across thread counts for the whole zoo: every design
+# (including the DRAM-timed POM-TLB and the near-memory NMT) must be
+# deterministic under the parallel sweep service.
+ZOO_SERIAL="$BUILD_DIR/BENCH_design_zoo_serial.json"
+"$BUILD_DIR/neummu_sweep" --manifest=scripts/design_zoo.jsonl -j 1 \
+    --timing=0 --json="$ZOO_SERIAL" > /dev/null
+if ! cmp -s "$ZOO_SWEEP" "$ZOO_SERIAL"; then
+  echo "error: parallel design-zoo sweep is not byte-identical to" \
+       "the serial run" >&2
+  exit 1
+fi
+echo "design-zoo sweep report: $ZOO_SWEEP (parallel == serial)"
+
+# Cross-design comparison table: bench_design_zoo runs the same
+# points in-process, self-checks that every cell completed, and its
+# JSON is the archived design-comparison artifact.
+ZOO_JSON="$BUILD_DIR/BENCH_design_zoo.json"
+"$BUILD_DIR/bench_design_zoo" --json="$ZOO_JSON" > /dev/null
+if [[ ! -s "$ZOO_JSON" ]]; then
+  echo "error: bench_design_zoo produced no JSON report" >&2
+  exit 1
+fi
+for key in '"zoo.range.dense"' '"zoo.pomtlb.embed"' \
+           '"zoo.nmt.hotset"' '"zoo.neummu.serve"' '"normPerf"' \
+           '"shootdowns"' '"goodput"'; do
+  if ! grep -q "$key" "$ZOO_JSON"; then
+    echo "error: design-zoo report is missing $key" >&2
+    exit 1
+  fi
+done
+echo "design-zoo report: $ZOO_JSON"

@@ -25,14 +25,18 @@ runDenseExperiment(const DenseExperimentConfig &cfg, System &system)
     DenseExperimentResult result;
     result.layers = static_cast<DenseDnnWorkload &>(wl).layers();
 
-    MmuCore &mmu = system.mmu();
+    MmuEngine &mmu = system.mmu();
     DmaEngine &dma = system.dma(0);
     result.totalCycles = system.now();
     result.mmu = mmu.counts();
-    result.tpreg = mmu.tpregStats();
-    if (const MmuCacheStats *pcs = mmu.sharedCacheStats())
-        result.pathCache = *pcs;
-    result.uptcEntryHitRate = mmu.uptcEntryHitRate();
+    // Walker-core extras (TPreg, shared path cache, UPTC) only exist
+    // on MmuCore; the zoo designs report their own stats groups.
+    if (MmuCore *core = mmu.asMmuCore()) {
+        result.tpreg = core->tpregStats();
+        if (const MmuCacheStats *pcs = core->sharedCacheStats())
+            result.pathCache = *pcs;
+        result.uptcEntryHitRate = core->uptcEntryHitRate();
+    }
     result.translationEnergyNj =
         EnergyModel{}.translationEnergyNj(mmu.counts());
     result.dmaStallCycles = dma.stallCycles();

@@ -47,6 +47,26 @@ mmuKindName(MmuKind kind)
       case MmuKind::BaselineIommu: return "Baseline";
       case MmuKind::NeuMmu: return "NeuMMU";
       case MmuKind::Custom: return "Custom";
+      case MmuKind::RangeMmu: return "RangeMMU";
+      case MmuKind::PomTlb: return "PomTlb";
+      case MmuKind::Nmt: return "NMT";
+    }
+    NEUMMU_PANIC("unknown MMU kind");
+}
+
+bool
+isWalkerCoreKind(MmuKind kind)
+{
+    switch (kind) {
+      case MmuKind::Oracle:
+      case MmuKind::BaselineIommu:
+      case MmuKind::NeuMmu:
+      case MmuKind::Custom:
+        return true;
+      case MmuKind::RangeMmu:
+      case MmuKind::PomTlb:
+      case MmuKind::Nmt:
+        return false;
     }
     NEUMMU_PANIC("unknown MMU kind");
 }
@@ -59,10 +79,11 @@ mmuConfigFor(MmuKind kind, unsigned page_shift)
       case MmuKind::BaselineIommu:
         return baselineIommuConfig(page_shift);
       case MmuKind::NeuMmu: return neuMmuConfig(page_shift);
-      case MmuKind::Custom:
-        NEUMMU_PANIC("Custom MMU kind has no canned config");
+      default:
+        NEUMMU_PANIC("MMU kind '" + mmuKindName(kind) + "' has no "
+                     "canned MmuConfig (only the named walker-core "
+                     "designs do)");
     }
-    NEUMMU_PANIC("unknown MMU kind");
 }
 
 void

@@ -29,6 +29,7 @@
 #include "common/types.hh"
 #include "common/units.hh"
 #include "mmu/mmu_cache.hh"
+#include "mmu/mmu_engine.hh"
 #include "mmu/tpreg.hh"
 #include "mmu/translation.hh"
 #include "sim/event_queue.hh"
@@ -79,9 +80,12 @@ MmuConfig neuMmuConfig(unsigned page_shift = smallPageShift);
 MmuConfig oracleMmuConfig(unsigned page_shift = smallPageShift);
 
 /**
- * The paper's three named MMU design points, plus Custom for a
- * hand-tuned MmuConfig. SystemConfig selects the translation engine
- * by kind; Custom defers to an explicit MmuConfig.
+ * The registered MMU design points. The first four are the
+ * walker-core design space one MmuCore instance covers (the paper's
+ * named points plus Custom for a hand-tuned MmuConfig); the rest are
+ * architecturally different engines built by the translation factory
+ * (see translation_factory.hh) and configured through their own
+ * SystemConfig sub-structs, not through MmuConfig.
  */
 enum class MmuKind
 {
@@ -89,13 +93,24 @@ enum class MmuKind
     BaselineIommu,
     NeuMmu,
     Custom,
+    /** Range-based translation (RMM-style range TLB). */
+    RangeMmu,
+    /** Part-of-memory TLB: huge in-DRAM level under a small L1. */
+    PomTlb,
+    /** Near-memory translation (Picorel et al.). */
+    Nmt,
 };
 
 std::string mmuKindName(MmuKind kind);
 
+/** True for the kinds one MmuCore instance covers (an MmuConfig
+ *  describes them; mmu.* binder keys edit this space). */
+bool isWalkerCoreKind(MmuKind kind);
+
 /**
- * The canned MmuConfig for a non-Custom @p kind at @p page_shift.
- * @pre kind != MmuKind::Custom
+ * The canned MmuConfig for a named walker-core @p kind at
+ * @p page_shift.
+ * @pre isWalkerCoreKind(kind) && kind != MmuKind::Custom
  */
 MmuConfig mmuConfigFor(MmuKind kind, unsigned page_shift);
 
@@ -104,24 +119,9 @@ MmuConfig mmuConfigFor(MmuKind kind, unsigned page_shift);
  * functional translations come from the (CPU-owned) PageTable the
  * IOMMU has walk privileges for (Section II-B).
  */
-class MmuCore : public TranslationEngine
+class MmuCore : public MmuEngine
 {
   public:
-    /**
-     * Demand-paging hook: invoked when a walk reaches an unmapped
-     * page. The handler must install a mapping immediately (so a
-     * re-walk succeeds) and return the tick at which the page data is
-     * actually resident; the walker stays busy until then.
-     */
-    using FaultHandler = std::function<Tick(Addr va, Tick now)>;
-
-    /**
-     * Observation hook for the page-lifecycle machinery: fired for
-     * every translation request (hit or miss), so the paging engine
-     * can maintain access recency for its eviction policy.
-     */
-    using AccessHook = std::function<void(Addr va)>;
-
     MmuCore(std::string name, EventQueue &eq, PageTable &pt,
             MmuConfig cfg);
 
@@ -131,18 +131,16 @@ class MmuCore : public TranslationEngine
     const MmuCounts &counts() const override { return _counts; }
 
     /** Install the demand-paging handler (optional). */
-    void setFaultHandler(FaultHandler handler);
+    void setFaultHandler(FaultHandler handler) override;
 
     // --- Page lifecycle / translation coherence --------------------
     /**
-     * Turn on the lifecycle bookkeeping the paging engine needs:
-     * per-VPN tracking of scheduled-but-undelivered responses (so
-     * vpnBusy() covers the response-delivery window) and the access
-     * hook. Off by default -- the translate hot path then carries
-     * only a dead branch and the stats surface is unchanged.
+     * Lifecycle bookkeeping (see MmuEngine::enableLifecycle). Off by
+     * default -- the translate hot path then carries only a dead
+     * branch and the stats surface is unchanged.
      */
-    void enableLifecycle();
-    void setAccessHook(AccessHook hook);
+    void enableLifecycle() override;
+    void setAccessHook(AccessHook hook) override;
 
     /**
      * Shootdown for the page containing @p va after (or during) an
@@ -152,7 +150,7 @@ class MmuCore : public TranslationEngine
      * the page so they re-walk at completion instead of installing a
      * stale PA.
      */
-    void shootdown(Addr va, const UnmapResult &unmapped);
+    void shootdown(Addr va, const UnmapResult &unmapped) override;
 
     /**
      * TranslationEngine-interface shootdown (router ports forward
@@ -168,17 +166,22 @@ class MmuCore : public TranslationEngine
      * lifecycle enabled -- a scheduled response not yet delivered.
      * The paging engine refuses to evict busy pages.
      */
-    bool vpnBusy(Addr vpn) const;
+    bool vpnBusy(Addr vpn) const override;
 
     const MmuConfig &config() const { return _cfg; }
     Tlb &tlb() { return _tlb; }
-    stats::Group &stats() { return _stats; }
+    stats::Group &stats() override { return _stats; }
+
+    /** The walker pool is what the router partitions. */
+    unsigned walkerBudget() const override { return _cfg.numPtws; }
+
+    MmuCore *asMmuCore() override { return this; }
 
     /**
      * Mirror the live MmuCounts into the stats group (counters are
      * kept in a plain struct off the hot path); call before dumping.
      */
-    void refreshStats();
+    void refreshStats() override;
 
     /** Fig. 13: per-level TPreg tag-match statistics (all PTWs). */
     const TpReg::MatchStats &tpregStats() const { return _tpregStats; }

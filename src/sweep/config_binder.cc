@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/text.hh"
+#include "mmu/translation_factory.hh"
 #include "serving/arrival.hh"
 #include "system/embedding_system.hh"
 #include "workloads/models.hh"
@@ -57,16 +58,31 @@ parseBool(const std::string &key, const std::string &value)
 MmuKind
 parseMmuKind(const std::string &key, const std::string &value)
 {
-    const std::string v = lowered(value);
-    if (v == "oracle")
-        return MmuKind::Oracle;
-    if (v == "baseline" || v == "iommu")
-        return MmuKind::BaselineIommu;
-    if (v == "neummu")
-        return MmuKind::NeuMmu;
-    if (v == "custom")
-        return MmuKind::Custom;
-    badValue(key, value, "oracle|baseline|neummu|custom");
+    MmuKind kind;
+    if (!translationDesignFromName(value, kind))
+        badValue(key, value, translationDesignList());
+    return kind;
+}
+
+/**
+ * Set the translation design, guarding the override-ordering trap:
+ * earlier mmu.* edits materialized a Custom config, and a later
+ * mmuKind=/mmu.design= would silently discard them. That order is an
+ * error, not a silent reset.
+ */
+void
+setMmuKind(SystemConfig &cfg, const std::string &key,
+           const std::string &value)
+{
+    const MmuKind kind = parseMmuKind(key, value);
+    if (cfg.mmuEdited && cfg.mmuKind == MmuKind::Custom &&
+        kind != MmuKind::Custom) {
+        throw BindError(
+            key + "=" + value + " after earlier mmu.* edits would "
+            "discard them; put " + key + "= before any mmu.* key (or "
+            "drop it -- mmu.* edits already select the custom design)");
+    }
+    cfg.mmuKind = kind;
 }
 
 MmuCacheKind
@@ -136,9 +152,18 @@ MmuConfig &
 customMmu(SystemConfig &cfg)
 {
     if (cfg.mmuKind != MmuKind::Custom) {
+        if (!isWalkerCoreKind(cfg.mmuKind)) {
+            const std::string key = translationDesignKey(cfg.mmuKind);
+            const std::string group = key == "pomtlb" ? "pom" : key;
+            throw BindError(
+                "mmu.* keys tune the walker-core designs; design '" +
+                key + "' is configured via its own mmu." + group +
+                ".* keys");
+        }
         cfg.mmu = cfg.resolvedMmuConfig();
         cfg.mmuKind = MmuKind::Custom;
     }
+    cfg.mmuEdited = true;
     return cfg.mmu;
 }
 
@@ -160,18 +185,27 @@ applyPreset(SystemConfig &cfg, const std::string &value)
         badValue("preset", value, "dlrm_paging|ncf_paging");
     if (cfg.mmuKind == MmuKind::Custom)
         throw BindError("preset=" + value + " needs a named mmuKind "
-                        "(set mmuKind=oracle|baseline|neummu first)");
+                        "(set mmuKind/mmu.design to a named design "
+                        "first)");
     const std::string name = cfg.name;
     const std::uint64_t seed = cfg.seed;
     // sim.* describes how to EXECUTE the simulation, not the machine;
     // a preset replaces the machine but keeps the kernel knobs (so
-    // e.g. a base-config "sim.shards=4" survives preset jobs).
+    // e.g. a base-config "sim.shards=4" survives preset jobs). The
+    // zoo design sub-configs ride along for the same reason: they
+    // only matter when mmuKind selects them.
     const SimConfig sim = cfg.sim;
+    const RangeMmuConfig range = cfg.rangeMmu;
+    const PomTlbConfig pom = cfg.pomTlb;
+    const NmtConfig nmt = cfg.nmt;
     cfg = demandPagingSystemConfig(spec, EmbeddingSystemConfig{},
                                    cfg.mmuKind, cfg.pageShift);
     cfg.name = name;
     cfg.seed = seed;
     cfg.sim = sim;
+    cfg.rangeMmu = range;
+    cfg.pomTlb = pom;
+    cfg.nmt = nmt;
 }
 
 /**
@@ -229,8 +263,8 @@ applyOverride(SystemConfig &cfg, const std::string &key,
         cfg.bufferDepth = unsigned(parseU64(key, value));
     } else if (key == "dmaBurstBytes") {
         cfg.dmaBurstBytes = parseU64(key, value);
-    } else if (key == "mmuKind") {
-        cfg.mmuKind = parseMmuKind(key, value);
+    } else if (key == "mmuKind" || key == "mmu.design") {
+        setMmuKind(cfg, key, value);
     } else if (key == "routerPolicy") {
         const std::string v = lowered(value);
         if (v == "shared")
@@ -300,6 +334,43 @@ applyOverride(SystemConfig &cfg, const std::string &key,
         customMmu(cfg).tlb.ways = std::size_t(parseU64(key, value));
     } else if (key == "mmu.tlb.hitLatency") {
         customMmu(cfg).tlb.hitLatency = Tick(parseU64(key, value));
+
+        // --- Design-zoo knobs (do NOT flip mmuKind: they only matter
+        // when mmu.design selects the matching design) -----------------
+    } else if (key == "mmu.range.entries") {
+        cfg.rangeMmu.entries = std::size_t(parseU64(key, value));
+    } else if (key == "mmu.range.maxPages") {
+        cfg.rangeMmu.maxRangePages = unsigned(parseU64(key, value));
+    } else if (key == "mmu.range.walkers") {
+        cfg.rangeMmu.numWalkers = unsigned(parseU64(key, value));
+    } else if (key == "mmu.range.hitLatency") {
+        cfg.rangeMmu.hitLatency = Tick(parseU64(key, value));
+    } else if (key == "mmu.range.walkLatencyPerLevel") {
+        cfg.rangeMmu.walkLatencyPerLevel = Tick(parseU64(key, value));
+    } else if (key == "mmu.pom.l1Entries") {
+        cfg.pomTlb.l1.entries = std::size_t(parseU64(key, value));
+    } else if (key == "mmu.pom.l1HitLatency") {
+        cfg.pomTlb.l1.hitLatency = Tick(parseU64(key, value));
+    } else if (key == "mmu.pom.entries") {
+        cfg.pomTlb.entries = std::size_t(parseU64(key, value));
+    } else if (key == "mmu.pom.ways") {
+        cfg.pomTlb.ways = std::size_t(parseU64(key, value));
+    } else if (key == "mmu.pom.walkers") {
+        cfg.pomTlb.numWalkers = unsigned(parseU64(key, value));
+    } else if (key == "mmu.pom.walkLatencyPerLevel") {
+        cfg.pomTlb.walkLatencyPerLevel = Tick(parseU64(key, value));
+    } else if (key == "mmu.pom.memLatency") {
+        cfg.pomTlb.mem.accessLatency = Tick(parseU64(key, value));
+    } else if (key == "mmu.nmt.segmentShift") {
+        cfg.nmt.segmentShift = unsigned(parseU64(key, value));
+    } else if (key == "mmu.nmt.cacheEntries") {
+        cfg.nmt.cacheEntries = std::size_t(parseU64(key, value));
+    } else if (key == "mmu.nmt.units") {
+        cfg.nmt.numUnits = unsigned(parseU64(key, value));
+    } else if (key == "mmu.nmt.hitLatency") {
+        cfg.nmt.hitLatency = Tick(parseU64(key, value));
+    } else if (key == "mmu.nmt.fetchLatency") {
+        cfg.nmt.fetchLatency = Tick(parseU64(key, value));
 
         // --- Page lifecycle / oversubscription ------------------------
     } else if (key == "paging.enabled") {
@@ -397,7 +468,7 @@ binderKeyTable()
         {"numNpus", "NPU count; >1 shares the MMU via the router"},
         {"bufferDepth", "tile-buffer depth (2 = double buffering)"},
         {"dmaBurstBytes", "system-level DMA burst override (0 = npu)"},
-        {"mmuKind", "oracle|baseline|neummu|custom design point"},
+        {"mmuKind", "translation design (alias of mmu.design)"},
         {"routerPolicy", "shared|partitioned walker arbitration"},
         {"sharedMemory", "0|1: all NPUs contend for one memory node"},
         {"hostDramBytes", "host DRAM capacity (K/M/G ok)"},
@@ -413,6 +484,8 @@ binderKeyTable()
         {"memory.bytesPerCycle", "aggregate memory bandwidth"},
         {"memory.accessLatency", "fixed access latency (cycles)"},
         {"memory.interleaveBytes", "channel interleave granularity"},
+        {"mmu.design", "oracle|iommu|neummu|custom|range|pomtlb|nmt "
+                       "(the design-zoo selector; set before mmu.*)"},
         {"mmu.numPtws", "parallel page-table walkers (Custom-izes)"},
         {"mmu.prmbSlots", "PRMB merge slots per PTW (0 = no PTS)"},
         {"mmu.pathCache", "none|tpreg|tpc|uptc walker path cache"},
@@ -423,6 +496,23 @@ binderKeyTable()
         {"mmu.tlb.entries", "IOTLB entries"},
         {"mmu.tlb.ways", "IOTLB associativity (0 = full)"},
         {"mmu.tlb.hitLatency", "IOTLB hit latency (cycles)"},
+        {"mmu.range.entries", "RangeMMU: range-TLB entries"},
+        {"mmu.range.maxPages", "RangeMMU: eager-construction cap"},
+        {"mmu.range.walkers", "RangeMMU: concurrent miss walkers"},
+        {"mmu.range.hitLatency", "RangeMMU: range-TLB hit latency"},
+        {"mmu.range.walkLatencyPerLevel", "RangeMMU: radix level cost"},
+        {"mmu.pom.l1Entries", "PomTlb: on-chip L1 TLB entries"},
+        {"mmu.pom.l1HitLatency", "PomTlb: L1 hit latency (cycles)"},
+        {"mmu.pom.entries", "PomTlb: in-memory TLB entries"},
+        {"mmu.pom.ways", "PomTlb: in-memory associativity"},
+        {"mmu.pom.walkers", "PomTlb: concurrent miss registers"},
+        {"mmu.pom.walkLatencyPerLevel", "PomTlb: radix level cost"},
+        {"mmu.pom.memLatency", "PomTlb: POM DRAM access latency"},
+        {"mmu.nmt.segmentShift", "NMT: log2 pages per segment"},
+        {"mmu.nmt.cacheEntries", "NMT: segment-cache entries"},
+        {"mmu.nmt.units", "NMT: concurrent fetch units"},
+        {"mmu.nmt.hitLatency", "NMT: segment-cache hit latency"},
+        {"mmu.nmt.fetchLatency", "NMT: flat index fetch latency"},
         {"paging.enabled", "0|1: own a PagingEngine (page lifecycle)"},
         {"paging.policy", "clock|lru victim selection"},
         {"paging.residentLimitBytes", "residency cap in bytes (0=node)"},

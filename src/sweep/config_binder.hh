@@ -15,6 +15,10 @@
  *   replaces the machine with a canned scenario machine (keeping
  *   name/seed/mmuKind) and then tightens the residency cap.
  *
+ * The reverse order is an error, not a silent reset: a
+ * mmuKind=/mmu.design= override AFTER earlier mmu.* edits would
+ * discard them and throws BindError instead.
+ *
  * Errors are user errors and throw BindError (never exit), so the
  * SweepEngine can report a misconfigured job without killing the
  * sweep. binderKeyTable() is the authoritative key list for --help

@@ -36,7 +36,7 @@ PagingEngine::PagingEngine(System &system, const PagingConfig &cfg)
     NEUMMU_ASSERT(_maxResidentPages >= 2,
                   "residency cap below two pages cannot make progress");
 
-    MmuCore &mmu = _sys.mmu();
+    MmuEngine &mmu = _sys.mmu();
     mmu.enableLifecycle();
     mmu.setFaultHandler([this](Addr va, Tick now) -> Tick {
         return handleFault(va, now);
@@ -50,7 +50,7 @@ PagingEngine::PagingEngine(System &system, const PagingConfig &cfg)
 bool
 PagingEngine::evictOne(bool timed, Tick &when)
 {
-    MmuCore &mmu = _sys.mmu();
+    MmuEngine &mmu = _sys.mmu();
     const Addr victim = _resident.evictVictim([this, &mmu](Addr page) {
         // Never rip out a page with a walk in flight or a translated
         // response still on the wire; the policy passes it over.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "mmu/translation_factory.hh"
 #include "serving/serving_engine.hh"
 
 namespace neummu {
@@ -21,6 +22,9 @@ prefixed(const std::string &system_name, const std::string &component)
 MmuConfig
 SystemConfig::resolvedMmuConfig() const
 {
+    NEUMMU_ASSERT(isWalkerCoreKind(mmuKind),
+                  "design '" + mmuKindName(mmuKind) + "' has no "
+                  "MmuConfig; it is configured via its own sub-struct");
     if (mmuKind == MmuKind::Custom)
         return mmu;
     return mmuConfigFor(mmuKind, pageShift);
@@ -81,17 +85,18 @@ System::System(SystemConfig cfg)
             _cfg.sim.hopTicks, _cfg.sim.threads);
     }
 
-    const MmuConfig mmu_cfg = _cfg.resolvedMmuConfig();
-    NEUMMU_ASSERT(mmu_cfg.pageShift == _cfg.pageShift,
-                  "MMU page size and system page size must agree");
-    _mmu = std::make_unique<MmuCore>(prefixed(_cfg.name, "mmu"),
-                                     eventQueue(), _pageTable, mmu_cfg);
+    // The translation engine is whatever design the factory builds
+    // for cfg.mmuKind; everything downstream (router, shard ports,
+    // paging, serving) only sees the MmuEngine surface.
+    _mmu = makeTranslationEngine(_cfg.mmuKind,
+                                 prefixed(_cfg.name, "mmu"),
+                                 eventQueue(), _pageTable, _cfg);
     _stats.add(_mmu->stats());
 
     if (_cfg.numNpus > 1) {
         _router = std::make_unique<TranslationRouter>(
-            *_mmu, _cfg.numNpus, _cfg.routerPolicy, mmu_cfg.numPtws,
-            prefixed(_cfg.name, "router"));
+            *_mmu, _cfg.numNpus, _cfg.routerPolicy,
+            _mmu->walkerBudget(), prefixed(_cfg.name, "router"));
         for (unsigned c = 0; c < _cfg.numNpus; c++)
             _stats.add(_router->clientStats(c));
     }
@@ -246,6 +251,15 @@ System::hbmNode(unsigned npu)
         return *_sharedHbm;
     }
     return *npuAt(npu).hbm;
+}
+
+MmuCore &
+System::mmuCore()
+{
+    MmuCore *core = _mmu->asMmuCore();
+    NEUMMU_ASSERT(core, "design '" + mmuKindName(_cfg.mmuKind) +
+                            "' is not a walker-core MmuCore");
+    return *core;
 }
 
 TranslationRouter &

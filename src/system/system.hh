@@ -28,6 +28,10 @@
 #include "common/units.hh"
 #include "mem/memory_model.hh"
 #include "mmu/mmu_core.hh"
+#include "mmu/mmu_engine.hh"
+#include "mmu/nmt.hh"
+#include "mmu/pom_tlb.hh"
+#include "mmu/range_mmu.hh"
 #include "mmu/translation_router.hh"
 #include "npu/dma_engine.hh"
 #include "npu/npu_config.hh"
@@ -119,14 +123,30 @@ struct SystemConfig
 
     // --- Translation -----------------------------------------------
     /**
-     * Named design point. For any kind other than Custom the canned
-     * config (at this system's pageShift) is instantiated and the
-     * `mmu` field below is IGNORED -- tweak individual MMU knobs by
-     * leaving mmuKind at Custom and editing `mmu` directly.
+     * Named design point, resolved through the translation factory
+     * (see translation_factory.hh). For the named walker-core kinds
+     * the canned MmuConfig (at this system's pageShift) is
+     * instantiated and the `mmu` field below is IGNORED -- tweak
+     * individual walker-core knobs by leaving mmuKind at Custom and
+     * editing `mmu` directly. The zoo kinds (RangeMmu/PomTlb/Nmt)
+     * read their own sub-structs below instead of `mmu`.
      */
     MmuKind mmuKind = MmuKind::Custom;
-    /** Explicit engine config; authoritative only under Custom. */
+    /** Explicit walker-core config; authoritative only under Custom. */
     MmuConfig mmu = baselineIommuConfig();
+    /**
+     * ConfigBinder bookkeeping: set when an mmu.* override
+     * materialized the Custom design point, so a LATER mmuKind= /
+     * mmu.design= / preset= key errors instead of silently discarding
+     * the edits. Never set by hand.
+     */
+    bool mmuEdited = false;
+    /** RangeMMU design knobs (mmuKind == RangeMmu only). */
+    RangeMmuConfig rangeMmu{};
+    /** POM-TLB design knobs (mmuKind == PomTlb only). */
+    PomTlbConfig pomTlb{};
+    /** NMT design knobs (mmuKind == Nmt only). */
+    NmtConfig nmt{};
     /** Walker arbitration across NPUs (numNpus > 1 only). */
     RouterPolicy routerPolicy = RouterPolicy::Shared;
 
@@ -181,9 +201,11 @@ struct SystemConfig
     unsigned vaScatterShift = 0;
 
     /**
-     * The MmuConfig this system will instantiate: the canned config
-     * for a named kind (at this system's pageShift), or `mmu` as-is
-     * for Custom.
+     * The MmuConfig a walker-core system will instantiate: the canned
+     * config for a named kind (at this system's pageShift), or `mmu`
+     * as-is for Custom.
+     * @pre isWalkerCoreKind(mmuKind) -- the zoo designs have no
+     *      MmuConfig; they are described by their sub-structs.
      */
     MmuConfig resolvedMmuConfig() const;
 };
@@ -264,7 +286,13 @@ class System
     AddressSpace &addressSpace() { return _vas; }
 
     // --- Translation -----------------------------------------------
-    MmuCore &mmu() { return *_mmu; }
+    /** The translation engine the factory built for cfg.mmuKind. */
+    MmuEngine &mmu() { return *_mmu; }
+    /**
+     * Walker-core downcast for drivers that read MmuCore-only stats.
+     * @pre isWalkerCoreKind(config().mmuKind)
+     */
+    MmuCore &mmuCore();
     bool hasRouter() const { return _router != nullptr; }
     /** @pre hasRouter() */
     TranslationRouter &router();
@@ -329,7 +357,7 @@ class System
     FrameAllocator _hostNode;
     PageTable _pageTable;
     AddressSpace _vas;
-    std::unique_ptr<MmuCore> _mmu;
+    std::unique_ptr<MmuEngine> _mmu;
     std::unique_ptr<TranslationRouter> _router;
     std::unique_ptr<PagingEngine> _paging;
     std::unique_ptr<serving::ServingEngine> _serving;

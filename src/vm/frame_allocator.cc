@@ -135,6 +135,21 @@ FrameAllocator::free(Addr addr, std::uint64_t bytes)
         _freeList[idx - 1].bytes += _freeList[idx].bytes;
         _freeList.erase(_freeList.begin() + std::ptrdiff_t(idx));
     }
+
+    // Reabsorb a trailing free block that ends exactly at the bump
+    // cursor: the block and the untouched bump region are one
+    // contiguous free range, but split across the list and the cursor
+    // an allocation larger than either piece would fail even though
+    // their union fits. (Neighbor coalescing guarantees at most one
+    // block can touch _next, so a single check suffices.)
+    if (!_freeList.empty()) {
+        const Block &last = _freeList.back();
+        if (last.addr + last.bytes == _next) {
+            _next = last.addr;
+            _freeBytes -= last.bytes;
+            _freeList.pop_back();
+        }
+    }
 }
 
 bool

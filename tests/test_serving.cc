@@ -112,6 +112,25 @@ TEST(Histogram, QuantileClampedIntoObservedRange)
     EXPECT_EQ(h.quantile(0.999), 1000000u);
 }
 
+TEST(Histogram, EmptySentinelIsTotalOverQ)
+{
+    // The empty histogram's defined sentinel: quantile(q) is 0 for
+    // EVERY q (including out-of-range ones), and min/max/mean are 0.
+    // Report paths print these unguarded, so the sentinel is API.
+    stats::Histogram h;
+    for (const double q : {-1.0, 0.0, 0.5, 0.999, 1.0, 2.0})
+        EXPECT_EQ(h.quantile(q), 0u) << "q=" << q;
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    // reset() returns to the exact same sentinel state.
+    h.record(7, 2);
+    h.reset();
+    for (const double q : {0.0, 0.5, 1.0})
+        EXPECT_EQ(h.quantile(q), 0u) << "q=" << q;
+    EXPECT_EQ(h.max(), 0u);
+}
+
 // ---------------------------------------------------------------------
 // Series
 // ---------------------------------------------------------------------
@@ -480,6 +499,33 @@ TEST(ServingEngine, ReportCountsAddUp)
     EXPECT_GE(rep.p999, rep.p99);
     EXPECT_GE(rep.p99, rep.p50);
     EXPECT_EQ(rep.tenants.size(), 4u);
+}
+
+TEST(ServingEngine, ZeroCompletedReportHoldsIdleSentinels)
+{
+    // Nothing has completed yet (the run never started): every
+    // derived metric must hold its documented idle value -- no NaN,
+    // no garbage quantiles from the empty latency histogram -- and
+    // the stats dump must serialize cleanly.
+    System system(smallServeConfig());
+    const serving::ServeReport rep = system.servingEngine().report();
+    EXPECT_EQ(rep.completed, 0u);
+    EXPECT_EQ(rep.meanLatency, 0.0);
+    EXPECT_EQ(rep.p50, 0u);
+    EXPECT_EQ(rep.p90, 0u);
+    EXPECT_EQ(rep.p99, 0u);
+    EXPECT_EQ(rep.p999, 0u);
+    EXPECT_EQ(rep.goodput, 1.0);
+    EXPECT_EQ(rep.sloViolations, 0u);
+    std::ostringstream os;
+    system.dumpStatsJson(os);
+    const std::string dump = os.str();
+    EXPECT_FALSE(dump.empty());
+    // Value positions only: "tenants" the stat NAME contains "nan".
+    EXPECT_EQ(dump.find(": nan"), std::string::npos);
+    EXPECT_EQ(dump.find(": -nan"), std::string::npos);
+    EXPECT_EQ(dump.find(": inf"), std::string::npos);
+    EXPECT_EQ(dump.find(": -inf"), std::string::npos);
 }
 
 TEST(ServingEngine, QueueLimitDropsAreCounted)

@@ -97,6 +97,7 @@ TEST(FrameAllocator, FreeListCoalescesNeighbors)
     const Addr a = alloc.allocate(4096, 4096);
     const Addr b = alloc.allocate(4096, 4096);
     const Addr c = alloc.allocate(4096, 4096);
+    alloc.allocate(4096, 4096); // plug: keeps the hole interior
     alloc.free(a, 4096);
     alloc.free(c, 4096);
     EXPECT_EQ(alloc.freeListBlocks(), 2u);
@@ -105,6 +106,35 @@ TEST(FrameAllocator, FreeListCoalescesNeighbors)
     EXPECT_EQ(alloc.freeListBytes(), 3 * 4096u);
     // The coalesced block serves a larger aligned request in place.
     EXPECT_EQ(alloc.allocate(8 * KiB, 8 * KiB), a);
+}
+
+TEST(FrameAllocator, TrailingFreeReabsorbsIntoBumpCursor)
+{
+    // Out-of-order release at the allocation frontier: a free range
+    // ending exactly at the bump cursor merges back into the bump
+    // region, so the union of both serves one big allocation. Before
+    // the fix the cursor and the trailing block stayed split and the
+    // 8 KiB request below failed despite 8 KiB being free.
+    FrameAllocator alloc("node", nodeBase, 16 * KiB);
+    const Addr a = alloc.allocate(4096, 4096);
+    const Addr b = alloc.allocate(4096, 4096);
+    alloc.free(b, 4096); // trailing: reabsorbed, not listed
+    EXPECT_EQ(alloc.freeListBlocks(), 0u);
+    EXPECT_EQ(alloc.freeListBytes(), 0u);
+    EXPECT_EQ(alloc.used(), 4096u);
+    Addr big = invalidAddr;
+    ASSERT_TRUE(alloc.tryAllocate(12 * KiB, 4096, big));
+    EXPECT_EQ(big, b);
+
+    // Freeing the rest reabsorbs transitively through coalescing:
+    // the cursor returns to the node base.
+    alloc.free(big, 12 * KiB);
+    alloc.free(a, 4096);
+    EXPECT_EQ(alloc.freeListBlocks(), 0u);
+    EXPECT_EQ(alloc.used(), 0u);
+    Addr again = invalidAddr;
+    ASSERT_TRUE(alloc.tryAllocate(16 * KiB, 4096, again));
+    EXPECT_EQ(again, a);
 }
 
 TEST(FrameAllocator, SplitLeavesHeadAndTailFree)
@@ -140,12 +170,51 @@ TEST(FrameAllocator, AlignmentGapsLandOnTheFreeList)
     EXPECT_LT(small, big);
 }
 
+TEST(FrameAllocator, ChurnWithMixedAlignmentsLeaksNothing)
+{
+    // Tenant-churn shape: waves of mixed-size, mixed-alignment
+    // allocations released out of order (even-indexed first, then
+    // odd). Every wave must reconcile exactly -- all bytes back, the
+    // free list fully coalesced into the bump region -- or eviction
+    // churn in long serving runs would fragment the node until a
+    // large tensor no longer fits.
+    FrameAllocator alloc("node", nodeBase, 64 * MiB);
+    const std::uint64_t sizes[] = {4096, 16 * KiB, 4096, 2 * MiB,
+                                   64 * KiB, 4096, 256 * KiB, 8 * KiB};
+    const std::uint64_t aligns[] = {4096, 4096, 64 * KiB, 2 * MiB,
+                                    4096, 16 * KiB, 4096, 8 * KiB};
+    for (unsigned wave = 0; wave < 8; wave++) {
+        std::vector<std::pair<Addr, std::uint64_t>> live;
+        for (unsigned i = 0; i < 8; i++) {
+            const std::uint64_t bytes = sizes[(i + wave) % 8];
+            Addr a = invalidAddr;
+            ASSERT_TRUE(
+                alloc.tryAllocate(bytes, aligns[(i * 3 + wave) % 8],
+                                  a));
+            live.push_back({a, bytes});
+        }
+        for (std::size_t i = 0; i < live.size(); i += 2)
+            alloc.free(live[i].first, live[i].second);
+        for (std::size_t i = 1; i < live.size(); i += 2)
+            alloc.free(live[i].first, live[i].second);
+        // Full reconciliation: nothing live, nothing stranded.
+        EXPECT_EQ(alloc.used(), 0u) << "wave " << wave;
+        EXPECT_EQ(alloc.freeListBlocks(), 0u) << "wave " << wave;
+        EXPECT_EQ(alloc.freeListBytes(), 0u) << "wave " << wave;
+    }
+    // The whole node is one contiguous range again.
+    Addr all = invalidAddr;
+    ASSERT_TRUE(alloc.tryAllocate(64 * MiB, 4096, all));
+    EXPECT_EQ(all, nodeBase);
+}
+
 TEST(FrameAllocatorDeath, DoubleFreeIsFatal)
 {
     EXPECT_DEATH(
         {
             FrameAllocator inner("node", nodeBase, 64 * KiB);
             const Addr a = inner.allocate(4096, 4096);
+            inner.allocate(4096, 4096); // keep a below the cursor
             inner.free(a, 4096);
             inner.free(a, 4096);
         },
@@ -305,7 +374,9 @@ TEST_F(PageTableTest, UnmapReclaimsEmptyInteriorNodes)
     // The node frames went back to the allocator (the leaf frame is
     // the caller's to free).
     EXPECT_EQ(node.used(), used_before + 4096);
-    EXPECT_EQ(node.freeListBytes(), 3 * 4096u);
+    // The three node frames sat at the allocation frontier, so the
+    // allocator reabsorbed them into the bump cursor (no fragments).
+    EXPECT_EQ(node.freeListBytes(), 0u);
 
     // Remapping rebuilds the subtree from recycled frames.
     pt.map(va, um.frame, smallPageShift);
