@@ -20,6 +20,7 @@
  * are deterministic; only wall-clock-derived rates vary by host.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +32,9 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "mmu/mmu_core.hh"
+#include "npu/dma_engine.hh"
+#include "sim/profiler.hh"
 #include "system/embedding_system.hh"
 #include "workloads/embedding_workload.hh"
 #include "workloads/synthetic_workload.hh"
@@ -38,6 +42,12 @@
 using namespace neummu;
 
 namespace {
+
+/** When set (--profile=1), meter() runs each System with
+ *  sim.profile=1 so the sample carries host-cycle attribution. The
+ *  headline reps stay unprofiled: the attribution pass is separate
+ *  because the per-scope clock reads add measurable host overhead. */
+bool g_profile = false;
 
 /** Deterministic per-run counters plus the host-side wall time. */
 struct RunSample
@@ -47,6 +57,17 @@ struct RunSample
     std::uint64_t translations = 0;
     std::uint64_t peakQueueDepth = 0;
     double wallSec = 0.0;
+
+    // Kernel fast-path counters (always accumulated, free to read).
+    std::uint64_t trainsStarted = 0;
+    std::uint64_t trainSubInlined = 0;
+    std::uint64_t sameTickShortcuts = 0;
+    std::uint64_t walkCacheHits = 0;
+    std::uint64_t xlateRegisterHits = 0;
+    std::uint64_t burstRehashes = 0;
+    std::uint64_t burstHighWater = 0;
+    // Host-cycle attribution; all-zero unless sim.profile was on.
+    SimProfiler prof;
 };
 
 /** One timed scenario: builds, runs, and meters a fresh System. */
@@ -73,6 +94,7 @@ RunSample
 meter(SystemConfig cfg,
       const std::function<void(System &, Scheduler &)> &place)
 {
+    cfg.sim.profile = g_profile;
     System system(std::move(cfg));
     Scheduler scheduler(system);
     place(system, scheduler);
@@ -85,6 +107,19 @@ meter(SystemConfig cfg,
     s.events = system.eventsExecuted();
     s.translations = system.mmu().counts().responses;
     s.peakQueueDepth = system.peakQueueDepth();
+    s.trainsStarted = system.trainsStarted();
+    s.trainSubInlined = system.trainSubEventsInlined();
+    s.sameTickShortcuts = system.sameTickShortcuts();
+    s.walkCacheHits = system.pageTable().walkCacheHits();
+    if (MmuCore *core = system.mmu().asMmuCore())
+        s.xlateRegisterHits = core->xlateRegisterHits();
+    for (unsigned i = 0; i < system.numNpus(); i++) {
+        s.burstRehashes += system.dma(i).burstPoolRehashes();
+        s.burstHighWater = std::max(
+            s.burstHighWater,
+            std::uint64_t(system.dma(i).burstPoolHighWater()));
+    }
+    s.prof = system.mergedProfile();
     return s;
 }
 
@@ -171,6 +206,8 @@ main(int argc, char **argv)
     bench::Reporter reporter("sim_throughput", argc, argv);
     const unsigned reps =
         unsigned(reporter.args().getInt("reps", 3));
+    const bool profile =
+        reporter.args().getInt("profile", 0) != 0;
 
     const std::vector<Scenario> scenarios = {
         {"dense_oracle", [] { return runDense(MmuKind::Oracle, 4); }},
@@ -202,6 +239,8 @@ main(int argc, char **argv)
     std::uint64_t total_events = 0;
     std::uint64_t total_translations = 0;
     double total_wall = 0.0;
+    std::vector<RunSample> headline;
+    headline.reserve(scenarios.size());
     for (const Scenario &sc : scenarios) {
         RunSample total;
         for (unsigned r = 0; r < reps; r++) {
@@ -212,8 +251,22 @@ main(int argc, char **argv)
             total.events = s.events;
             total.translations = s.translations;
             total.peakQueueDepth = s.peakQueueDepth;
+            total.burstRehashes = s.burstRehashes;
             total.wallSec += s.wallSec;
         }
+
+        // Steady-state invariant: the burst trackers are pre-reserved
+        // from config-derived in-flight bounds, so a rehash here means
+        // the sizing heuristic broke (and the hot path paid for it).
+        if (total.burstRehashes != 0) {
+            std::fprintf(stderr,
+                         "FATAL: %s rehashed the DMA burst tracker "
+                         "%llu times in steady state\n",
+                         sc.name.c_str(),
+                         (unsigned long long)total.burstRehashes);
+            return 1;
+        }
+        headline.push_back(total);
         const double events_per_sec =
             double(total.events) * reps / total.wallSec;
         const double transl_per_sec =
@@ -238,6 +291,77 @@ main(int argc, char **argv)
                     (unsigned long long)total.events, events_per_sec,
                     transl_per_sec,
                     (unsigned long long)total.peakQueueDepth);
+    }
+
+    // --- Attribution pass (--profile=1): re-run each scenario once
+    // with sim.profile=1 and report where the host cycles go plus the
+    // fast-path hit counters. Kept out of the headline reps -- the
+    // per-scope clock reads add host overhead -- and cross-checked
+    // against the headline event counts (profiling is observational,
+    // so any drift is a bug).
+    if (profile) {
+        g_profile = true;
+        std::printf("\n%-22s %12s %12s %12s %12s %12s\n",
+                    "profile", "trains", "inlined", "sameTick",
+                    "regHits", "walkCache");
+        std::uint64_t fastpath_sum = 0;
+        for (std::size_t i = 0; i < scenarios.size(); i++) {
+            const Scenario &sc = scenarios[i];
+            const RunSample s = sc.run();
+            if (s.events != headline[i].events ||
+                s.simTicks != headline[i].simTicks) {
+                std::fprintf(stderr,
+                             "FATAL: %s profiled run changed "
+                             "simulated counters -- profiling must "
+                             "be observational\n",
+                             sc.name.c_str());
+                return 1;
+            }
+
+            stats::Group &g =
+                reporter.group("sim." + sc.name + ".profile");
+            for (unsigned p = 0; p < SimProfiler::numSlots; p++) {
+                const ProfSubsystem sub = ProfSubsystem(p);
+                const SimProfiler::Slot &slot = s.prof.slot(sub);
+                const std::string base = profSubsystemName(sub);
+                g.scalar(base + "Scopes").set(double(slot.count));
+                g.scalar(base + "Nanos").set(double(slot.nanos));
+            }
+            g.scalar("trainsStarted").set(double(s.trainsStarted));
+            g.scalar("trainSubEventsInlined")
+                .set(double(s.trainSubInlined));
+            g.scalar("sameTickShortcuts")
+                .set(double(s.sameTickShortcuts));
+            g.scalar("walkCacheHits").set(double(s.walkCacheHits));
+            g.scalar("xlateRegisterHits")
+                .set(double(s.xlateRegisterHits));
+            g.scalar("burstTrackerRehashes")
+                .set(double(s.burstRehashes));
+            g.scalar("burstTrackerHighWater")
+                .set(double(s.burstHighWater));
+
+            // Any one counter may legitimately be ~0 for a given
+            // scenario (e.g. inline batching needs an empty next-tick
+            // bucket), so the liveness gate sums them.
+            fastpath_sum += s.trainsStarted + s.trainSubInlined +
+                            s.sameTickShortcuts + s.walkCacheHits +
+                            s.xlateRegisterHits;
+
+            std::printf("%-22s %12llu %12llu %12llu %12llu %12llu\n",
+                        sc.name.c_str(),
+                        (unsigned long long)s.trainsStarted,
+                        (unsigned long long)s.trainSubInlined,
+                        (unsigned long long)s.sameTickShortcuts,
+                        (unsigned long long)s.xlateRegisterHits,
+                        (unsigned long long)s.walkCacheHits);
+        }
+        g_profile = false;
+        if (fastpath_sum == 0) {
+            std::fprintf(stderr,
+                         "FATAL: every fast-path counter is zero -- "
+                         "the optimized paths never ran\n");
+            return 1;
+        }
     }
 
     // --- Sharded scaling curve (ISSUE 6): the 64-NPU mix across the

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Print the per-scenario events/sec delta between two
+BENCH_sim_throughput.json reports (previous local run vs current).
+
+Usage: bench_delta.py PREV.json CURR.json
+
+Informational only: the rates are wall-clock-derived and vary by
+host load, so this never fails the build -- it exists so a local
+scripts/check.sh run shows immediately whether a kernel change moved
+the needle, and in which scenario.
+"""
+
+import json
+import sys
+
+
+def rates(path):
+    """Map scenario name -> eventsPerSec for the sim.* groups."""
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for group, stats in report.items():
+        if not group.startswith("sim.") or group.endswith(".profile"):
+            continue
+        if isinstance(stats, dict) and "eventsPerSec" in stats:
+            out[group[len("sim."):]] = float(stats["eventsPerSec"])
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} PREV.json CURR.json")
+    prev, curr = rates(sys.argv[1]), rates(sys.argv[2])
+    if not prev or not curr:
+        print("bench_delta: no sim.* scenario groups found; skipping")
+        return
+
+    print(f"{'scenario':<24} {'prev ev/s':>14} {'curr ev/s':>14} "
+          f"{'delta':>8}")
+    for name in sorted(curr):
+        if name not in prev or prev[name] <= 0:
+            print(f"{name:<24} {'-':>14} {curr[name]:>14.0f} "
+                  f"{'new':>8}")
+            continue
+        ratio = curr[name] / prev[name] - 1.0
+        print(f"{name:<24} {prev[name]:>14.0f} {curr[name]:>14.0f} "
+              f"{ratio:>+7.1%}")
+    dropped = sorted(set(prev) - set(curr))
+    for name in dropped:
+        print(f"{name:<24} {prev[name]:>14.0f} {'-':>14} "
+              f"{'gone':>8}")
+
+
+if __name__ == "__main__":
+    main()

@@ -75,14 +75,35 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # Simulator-throughput smoke: one repetition, recorded as JSON. The
 # simulated counters in the report are deterministic; the events/sec
 # rates document this machine. CI archives the file as an artifact,
-# giving the repo a perf trajectory across PRs.
+# giving the repo a perf trajectory across PRs. --profile=1 appends
+# the host-cycle attribution pass: the bench itself fails if the
+# fast-path counters sum to zero (optimized paths never ran), if a
+# burst tracker rehashed in steady state, or if the profiled rerun
+# drifted from the headline's simulated counters.
 BENCH_JSON="$BUILD_DIR/BENCH_sim_throughput.json"
-"$BUILD_DIR/bench_sim_throughput" --reps=1 --json="$BENCH_JSON"
+BENCH_PREV="$BUILD_DIR/BENCH_sim_throughput.prev.json"
+if [[ -s "$BENCH_JSON" ]]; then
+  cp "$BENCH_JSON" "$BENCH_PREV"
+fi
+"$BUILD_DIR/bench_sim_throughput" --reps=1 --profile=1 \
+    --json="$BENCH_JSON"
 if [[ ! -s "$BENCH_JSON" ]]; then
   echo "error: bench_sim_throughput produced no JSON report" >&2
   exit 1
 fi
 echo "throughput report: $BENCH_JSON"
+# Events/sec delta vs the previous local run of this build tree:
+# purely informational (wall-clock rates are host-load-dependent),
+# but it shows immediately whether a kernel change moved the needle.
+if [[ -s "$BENCH_PREV" ]] && command -v python3 > /dev/null; then
+  python3 scripts/bench_delta.py "$BENCH_PREV" "$BENCH_JSON"
+fi
+# The attribution pass must actually be in the archived artifact.
+if ! grep -q '"fastpath"\|trainsStarted' "$BENCH_JSON"; then
+  echo "error: throughput report is missing the --profile" \
+       "attribution (no trainsStarted)" >&2
+  exit 1
+fi
 # The sharded scaling curve (64-NPU mix across sim.shards) must be in
 # the archived report: events/sec per shard count plus the wall-clock
 # speedup, with hostConcurrency recorded so a single-core runner's

@@ -53,6 +53,12 @@ class FlatMap64
     std::size_t capacity() const { return _slots.size(); }
     /** Peak live-entry count over the map's lifetime. */
     std::size_t highWater() const { return _highWater; }
+    /**
+     * Times the slot array grew (and rehashed every live entry).
+     * A map sized from a correct capacity hint reports zero: its
+     * steady state never touches the allocator.
+     */
+    std::size_t rehashCount() const { return _rehashes; }
 
     /** Pointer to the value stored under @p key; nullptr if absent. */
     V *
@@ -157,6 +163,7 @@ class FlatMap64
     void
     grow()
     {
+        _rehashes++;
         std::vector<Slot> old = std::move(_slots);
         _slots.assign(old.size() * 2, Slot{});
         _mask = _slots.size() - 1;
@@ -174,6 +181,7 @@ class FlatMap64
     std::size_t _mask = 0;
     std::size_t _size = 0;
     std::size_t _highWater = 0;
+    std::size_t _rehashes = 0;
 };
 
 } // namespace neummu

@@ -80,7 +80,10 @@ TimedMmuEngine::respondAt(Tick when, const TranslationResponse &resp)
         });
         return;
     }
-    _eq.schedule(when, [this, resp] { _respond(resp); });
+    _eq.schedule(when, [this, resp] {
+        NEUMMU_PROF_SCOPE(_eq.profiler(), ProfSubsystem::MmuRespond);
+        _respond(resp);
+    });
 }
 
 WalkResult

@@ -119,17 +119,16 @@ MmuCore::MmuCore(std::string name, EventQueue &eq, PageTable &pt,
                  MmuConfig cfg)
     : _name(std::move(name)), _eq(eq), _pt(pt), _cfg(cfg),
       _tlb(_name + ".tlb", cfg.tlb), _pts(2 * cfg.numPtws),
-      _inflight(2 * cfg.numPtws), _stats(_name)
+      _inflight(2 * cfg.numPtws),
+      // Initiator slot plus a full PRMB per slab; slabs recycle, so
+      // steady-state merging and draining never allocate.
+      _respArena(cfg.prmbSlots + 1), _stats(_name)
 {
     NEUMMU_ASSERT(cfg.numPtws > 0 || cfg.oracle,
                   "an MMU needs at least one walker");
     _walkers.resize(cfg.numPtws);
-    for (unsigned i = 0; i < cfg.numPtws; i++) {
-        // Initiator slot plus a full PRMB, reserved once so merges
-        // never reallocate mid-walk.
-        _walkers[i].pending.reserve(cfg.prmbSlots + 1);
+    for (unsigned i = 0; i < cfg.numPtws; i++)
         _freeWalkers.push_back(cfg.numPtws - 1 - i);
-    }
 
     if (cfg.pathCache == MmuCacheKind::Tpc) {
         _tpc = std::make_unique<TranslationPathCache>(
@@ -274,12 +273,16 @@ MmuCore::respondAt(Tick when, const TranslationResponse &resp)
         });
         return;
     }
-    _eq.schedule(when, [this, resp] { _respond(resp); });
+    _eq.schedule(when, [this, resp] {
+        NEUMMU_PROF_SCOPE(_eq.profiler(), ProfSubsystem::MmuRespond);
+        _respond(resp);
+    });
 }
 
 bool
 MmuCore::translate(Addr va, std::uint64_t id)
 {
+    NEUMMU_PROF_SCOPE(_eq.profiler(), ProfSubsystem::MmuTranslate);
     _counts.requests++;
     if (_access)
         _access(va);
@@ -303,9 +306,30 @@ MmuCore::translate(Addr va, std::uint64_t id)
     }
 
     const Addr vpn = vpnOf(va);
+    // Channel-register fast path: a generation match proves the TLB
+    // is untouched since this channel's last hit on the same page, so
+    // a full lookup would hit the MRU head without relinking -- skip
+    // it and serve the cached frame. Counters follow the hit path.
+    XlateReg &reg = _xlateRegs[std::size_t(id >> 56) % numXlateRegs];
+    if (reg.gen == _tlb.generation() && reg.vpn == vpn) {
+        _tlb.noteRegisterHit();
+        _xlateRegHits++;
+        _counts.tlbHits++;
+        respondAt(now + _cfg.tlb.hitLatency,
+                  TranslationResponse{id, va,
+                                      (reg.pfn << _cfg.pageShift) |
+                                          (va & pageOffsetMask(
+                                                    _cfg.pageShift))});
+        return true;
+    }
     Addr pfn = invalidAddr;
     if (_tlb.lookup(vpn, pfn)) {
         _counts.tlbHits++;
+        // Snapshot after lookup(): a relink bumps the generation, so
+        // the register is stamped with vpn already at the MRU head.
+        reg.vpn = vpn;
+        reg.pfn = pfn;
+        reg.gen = _tlb.generation();
         respondAt(now + _cfg.tlb.hitLatency,
                   TranslationResponse{id, va,
                                       (pfn << _cfg.pageShift) |
@@ -325,10 +349,11 @@ MmuCore::translate(Addr va, std::uint64_t id)
             // empty pending list and accepts no merges (demand
             // requests for its page block until capacity frees) --
             // the explicit guard keeps size()-1 from underflowing.
-            if (!w.pending.empty() &&
-                w.pending.size() - 1 < _cfg.prmbSlots) {
-                w.pending.push_back(TranslationResponse{id, va,
-                                                        invalidAddr});
+            std::vector<TranslationResponse> &pending = pendingOf(w);
+            if (!pending.empty() &&
+                pending.size() - 1 < _cfg.prmbSlots) {
+                pending.push_back(TranslationResponse{id, va,
+                                                      invalidAddr});
                 _counts.prmbMerges++;
                 return true;
             }
@@ -358,9 +383,9 @@ MmuCore::startWalk(unsigned walker_idx, Addr va, std::uint64_t id,
 
     w.busy = true;
     w.vpn = vpn;
-    w.pending.clear();
+    w.pendingSlab = _respArena.acquire();
     if (!is_prefetch)
-        w.pending.push_back(TranslationResponse{id, va, invalidAddr});
+        pendingOf(w).push_back(TranslationResponse{id, va, invalidAddr});
     _busyWalkers++;
 
     unsigned &inflight_count = _inflight.insert(vpn, 0u).first;
@@ -461,6 +486,7 @@ MmuCore::updatePathCache(Walker &w, Addr va, const WalkResult &walk)
 void
 MmuCore::finishWalk(unsigned walker_idx)
 {
+    NEUMMU_PROF_SCOPE(_eq.profiler(), ProfSubsystem::MmuWalk);
     Walker &w = _walkers[walker_idx];
     NEUMMU_ASSERT(w.busy, "finishing an idle walker");
 
@@ -472,9 +498,9 @@ MmuCore::finishWalk(unsigned walker_idx)
         // whose page vanished is simply dropped -- nobody waits for
         // it, and re-faulting it in would be pure waste.
         w.squashed = false;
-        const bool was_prefetch = w.pending.empty();
+        const bool was_prefetch = pendingOf(w).empty();
         const Addr va = was_prefetch ? (w.vpn << _cfg.pageShift)
-                                     : w.pending.front().va;
+                                     : pendingOf(w).front().va;
         if (!was_prefetch || _pt.isMapped(va)) {
             launchWalk(walker_idx, va, false);
             return;
@@ -488,21 +514,51 @@ MmuCore::finishWalk(unsigned walker_idx)
     const WalkResult walk = w.walk;
     const Tick now = _eq.now();
     const Addr vpn = w.vpn;
-    const bool was_prefetch = w.pending.empty();
+    std::vector<TranslationResponse> &pending = pendingOf(w);
+    const bool was_prefetch = pending.empty();
 
     _tlb.insert(vpn, walk.pa >> _cfg.pageShift);
     const Addr representative_va =
-        was_prefetch ? (vpn << _cfg.pageShift) : w.pending.front().va;
+        was_prefetch ? (vpn << _cfg.pageShift) : pending.front().va;
     updatePathCache(w, representative_va, walk);
 
     // The initiator gets its translation at walk completion; merged
     // PRMB entries drain back to the DMA one per cycle (Section IV-A).
-    Tick when = now;
-    for (auto &resp : w.pending) {
-        resp.pa = (walk.pa & ~pageOffsetMask(_cfg.pageShift)) |
-                  (resp.va & pageOffsetMask(_cfg.pageShift));
-        respondAt(when, resp);
-        when++;
+    const Addr off_mask = pageOffsetMask(_cfg.pageShift);
+    for (auto &resp : pending)
+        resp.pa = (walk.pa & ~off_mask) | (resp.va & off_mask);
+
+    const std::size_t k = pending.size();
+    if (!_lifecycle && k > 1) {
+        // Batch drain train: one scheduled anchor expands into k
+        // back-to-back deliveries at now..now+k-1 with the exact
+        // (tick, priority, seq) assignment k individual schedule()
+        // calls would get -- cycle results and counters unchanged.
+        // Ownership of the slab moves to the train so the walker can
+        // free immediately, as it did before.
+        NEUMMU_ASSERT(_respond, "no response callback installed");
+        _counts.responses += k; // respondAt() counts at schedule time
+        const SlabArena<TranslationResponse>::Handle slab =
+            w.pendingSlab;
+        w.pendingSlab = SlabArena<TranslationResponse>::npos;
+        _eq.scheduleTrainBatch(
+            now, 1, k, [this, slab](std::uint64_t i) {
+                NEUMMU_PROF_SCOPE(_eq.profiler(),
+                                  ProfSubsystem::MmuRespond);
+                // Copy out before invoking: the response callback can
+                // re-enter translate() and grow the arena.
+                const TranslationResponse resp = _respArena.at(slab)[i];
+                if (i + 1 == _respArena.at(slab).size())
+                    _respArena.release(slab);
+                _respond(resp);
+                return true;
+            });
+    } else {
+        Tick when = now;
+        for (const auto &resp : pending) {
+            respondAt(when, resp);
+            when++;
+        }
     }
 
     releaseWalker(walker_idx);
@@ -522,7 +578,10 @@ MmuCore::releaseWalker(unsigned walker_idx)
     Walker &w = _walkers[walker_idx];
     const Addr vpn = w.vpn;
     w.busy = false;
-    w.pending.clear();
+    if (w.pendingSlab != SlabArena<TranslationResponse>::npos) {
+        _respArena.release(w.pendingSlab);
+        w.pendingSlab = SlabArena<TranslationResponse>::npos;
+    }
     w.vpn = invalidAddr;
     _busyWalkers--;
     _freeWalkers.push_back(walker_idx);

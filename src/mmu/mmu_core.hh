@@ -18,12 +18,14 @@
 #ifndef NEUMMU_MMU_MMU_CORE_HH
 #define NEUMMU_MMU_MMU_CORE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -207,6 +209,13 @@ class MmuCore : public MmuEngine
     {
         return _inflight.highWater();
     }
+    /** Requests served by the per-channel translation registers. */
+    std::uint64_t xlateRegisterHits() const { return _xlateRegHits; }
+    /** Peak live response-list slabs (tests/diagnostics). */
+    std::size_t respArenaHighWater() const
+    {
+        return _respArena.highWater();
+    }
 
   private:
     struct Walker
@@ -220,12 +229,14 @@ class MmuCore : public MmuEngine
         bool squashed = false;
         Addr vpn = invalidAddr;
         /**
-         * Requests served by this walk: initiator first. Empty for
-         * speculative prefetch walks. Capacity is reserved for a
-         * full PRMB at construction and retained across walks, so
-         * steady-state merging never allocates.
+         * Slab (in _respArena) holding the requests served by this
+         * walk: initiator first, merged PRMB entries after; empty for
+         * speculative prefetch walks. A slab so the finishWalk drain
+         * train can take ownership of the list after the walker is
+         * already released. npos while the walker is idle.
          */
-        std::vector<TranslationResponse> pending;
+        SlabArena<TranslationResponse>::Handle pendingSlab =
+            SlabArena<TranslationResponse>::npos;
         /**
          * The functional walk outcome, parked here between
          * startWalk() and the walk-completion event so the scheduled
@@ -235,6 +246,24 @@ class MmuCore : public MmuEngine
         WalkResult walk;
         TpReg tpreg;
     };
+
+    /**
+     * Per-channel last-translation register (the paper's TPreg idea
+     * applied at the translation port, Section IV-C): caches the
+     * channel's last TLB hit as (vpn, pfn) plus the TLB generation it
+     * was snapshotted at. A register hit is exact: a generation match
+     * means the TLB has not changed since the snapshot, so the vpn is
+     * still at its set's MRU head and lookup() would hit without
+     * relinking -- same response, same counters, no TLB mutation.
+     */
+    struct XlateReg
+    {
+        Addr vpn = invalidAddr;
+        Addr pfn = 0;
+        std::uint64_t gen = 0;
+    };
+    /** Channel registers; indexed by the router's client tag. */
+    static constexpr std::size_t numXlateRegs = 16;
 
     void respondAt(Tick when, const TranslationResponse &resp);
     void startWalk(unsigned walker_idx, Addr va, std::uint64_t id,
@@ -246,6 +275,10 @@ class MmuCore : public MmuEngine
     unsigned consultPathCache(Walker &w, Addr va, const WalkResult &walk);
     void updatePathCache(Walker &w, Addr va, const WalkResult &walk);
     Addr vpnOf(Addr va) const { return va >> _cfg.pageShift; }
+    std::vector<TranslationResponse> &pendingOf(Walker &w)
+    {
+        return _respArena.at(w.pendingSlab);
+    }
 
     std::string _name;
     EventQueue &_eq;
@@ -260,6 +293,10 @@ class MmuCore : public MmuEngine
     FlatMap64<unsigned> _pts;
     /** In-flight VPN multiplicity (redundant-walk accounting). */
     FlatMap64<unsigned> _inflight;
+    /** Response-list slabs: one per busy walker or in-flight drain. */
+    SlabArena<TranslationResponse> _respArena;
+    std::array<XlateReg, numXlateRegs> _xlateRegs{};
+    std::uint64_t _xlateRegHits = 0;
     std::unique_ptr<TranslationPathCache> _tpc;
     std::unique_ptr<UnifiedPageTableCache> _uptc;
     ResponseCallback _respond;

@@ -18,6 +18,7 @@ Nmt::Nmt(std::string name, EventQueue &eq, PageTable &pt,
 bool
 Nmt::translate(Addr va, std::uint64_t id)
 {
+    NEUMMU_PROF_SCOPE(_eq.profiler(), ProfSubsystem::MmuTranslate);
     _counts.requests++;
     if (_access)
         _access(va);

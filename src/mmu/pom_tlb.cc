@@ -41,15 +41,34 @@ PomTlb::setAddr(Addr vpn) const
 bool
 PomTlb::translate(Addr va, std::uint64_t id)
 {
+    NEUMMU_PROF_SCOPE(_eq.profiler(), ProfSubsystem::MmuTranslate);
     _counts.requests++;
     if (_access)
         _access(va);
     const Tick now = _eq.now();
     const Addr vpn = vpnOf(va);
 
+    // Channel-register fast path (see MmuCore::translate): exact
+    // because a generation match proves the L1 is untouched since the
+    // snapshot, so lookup() would hit the MRU head without relinking.
+    XlateReg &reg = _xlateRegs[std::size_t(id >> 56) % numXlateRegs];
+    if (reg.gen == _l1.generation() && reg.vpn == vpn) {
+        _l1.noteRegisterHit();
+        _xlateRegHits++;
+        _counts.tlbHits++;
+        respondAt(now + _cfg.l1.hitLatency,
+                  TranslationResponse{
+                      id, va,
+                      (reg.pfn << _pageShift) |
+                          (va & pageOffsetMask(_pageShift))});
+        return true;
+    }
     Addr pfn = invalidAddr;
     if (_l1.lookup(vpn, pfn)) {
         _counts.tlbHits++;
+        reg.vpn = vpn;
+        reg.pfn = pfn;
+        reg.gen = _l1.generation();
         respondAt(now + _cfg.l1.hitLatency,
                   TranslationResponse{
                       id, va,

@@ -20,9 +20,24 @@ RangeMmu::RangeMmu(std::string name, EventQueue &eq, PageTable &pt,
 RangeMmu::Range *
 RangeMmu::lookupRange(Addr vpn)
 {
-    for (Range &r : _ranges) {
-        if (vpn >= r.vpnBase && vpn - r.vpnBase < r.pages)
+    // Last-hit fast path: a tile's bursts sweep one run back to back,
+    // so re-checking the previously hit range (when the table is
+    // untouched since) skips the linear scan. Exact because ranges
+    // never overlap -- any cover is THE cover lookupRange would find.
+    if (_lastHitGen == _rangeGen && _lastHitIdx < _ranges.size()) {
+        Range &c = _ranges[_lastHitIdx];
+        if (vpn >= c.vpnBase && vpn - c.vpnBase < c.pages) {
+            _rangeFastHits++;
+            return &c;
+        }
+    }
+    for (std::size_t i = 0; i < _ranges.size(); i++) {
+        Range &r = _ranges[i];
+        if (vpn >= r.vpnBase && vpn - r.vpnBase < r.pages) {
+            _lastHitIdx = i;
+            _lastHitGen = _rangeGen;
             return &r;
+        }
     }
     return nullptr;
 }
@@ -30,6 +45,7 @@ RangeMmu::lookupRange(Addr vpn)
 bool
 RangeMmu::translate(Addr va, std::uint64_t id)
 {
+    NEUMMU_PROF_SCOPE(_eq.profiler(), ProfSubsystem::MmuTranslate);
     _counts.requests++;
     if (_access)
         _access(va);
@@ -126,6 +142,7 @@ RangeMmu::installRange(Addr vpn, Addr pfn)
 
     // Drop every overlapping entry (they are stale sub-runs of the
     // freshly probed one), then cache the new range.
+    _rangeGen++; // table mutates below: last-hit cache goes stale
     for (std::size_t i = 0; i < _ranges.size();) {
         const Range &r = _ranges[i];
         const bool overlaps =
@@ -159,6 +176,7 @@ RangeMmu::invalidateDesign(Addr vpn)
     Range *r = lookupRange(vpn);
     if (!r)
         return;
+    _rangeGen++; // table mutates below: last-hit cache goes stale
     // Split the run around the dead page: the surviving halves keep
     // the original recency, so churn erodes ranges instead of
     // flushing hot ones wholesale.

@@ -54,6 +54,8 @@ class RangeMmu : public TimedMmuEngine
     const RangeMmuConfig &config() const { return _cfg; }
     /** Cached ranges (tests/diagnostics). */
     std::size_t liveRanges() const { return _ranges.size(); }
+    /** Lookups served by the last-hit fast path (diagnostics). */
+    std::uint64_t rangeFastHits() const { return _rangeFastHits; }
 
   protected:
     void invalidateDesign(Addr vpn) override;
@@ -77,6 +79,13 @@ class RangeMmu : public TimedMmuEngine
     RangeMmuConfig _cfg;
     std::vector<Range> _ranges;
     std::uint64_t _useTick = 0;
+
+    /** Last-hit lookup cache: valid while _lastHitGen == _rangeGen
+     *  (the generation bumps on every table mutation). */
+    std::size_t _lastHitIdx = 0;
+    std::uint64_t _rangeGen = 1;
+    std::uint64_t _lastHitGen = 0;
+    std::uint64_t _rangeFastHits = 0;
 
     std::uint64_t _rangeInstalls = 0;
     std::uint64_t _rangeEvictions = 0;

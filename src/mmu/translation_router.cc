@@ -198,13 +198,22 @@ TranslationRouter::onWake()
     // deepest backlog re-arbitrate first, approximating the FIFO
     // request queue of a real IOMMU front end -- this is what lets a
     // bursty accelerator starve a quiet one under the Shared policy.
+    //
+    // Stable insertion sort in place: client counts are small (< 256)
+    // and this runs once per walk completion, where std::stable_sort
+    // would allocate its merge buffer every call.
     _wakeOrder.clear();
     for (auto &port : _ports)
         _wakeOrder.push_back(port.get());
-    std::stable_sort(_wakeOrder.begin(), _wakeOrder.end(),
-                     [](const Port *a, const Port *b) {
-                         return a->_inflight > b->_inflight;
-                     });
+    for (std::size_t i = 1; i < _wakeOrder.size(); i++) {
+        Port *p = _wakeOrder[i];
+        std::size_t j = i;
+        while (j > 0 && _wakeOrder[j - 1]->_inflight < p->_inflight) {
+            _wakeOrder[j] = _wakeOrder[j - 1];
+            j--;
+        }
+        _wakeOrder[j] = p;
+    }
     for (Port *port : _wakeOrder) {
         if (port->_wake)
             port->_wake();

@@ -11,7 +11,7 @@ DmaEngine::DmaEngine(std::string name, EventQueue &eq,
                      TranslationEngine &mmu, MemoryModel &mem,
                      DmaConfig cfg)
     : _name(std::move(name)), _eq(eq), _mmu(mmu), _mem(mem), _cfg(cfg),
-      _stats(_name),
+      _burstBytesById(2 * cfg.inflightHint), _stats(_name),
       _sTranslationsIssued(_stats.scalar("translationsIssued")),
       _sStallCycles(_stats.scalar("stallCycles"))
 {
@@ -39,8 +39,13 @@ DmaEngine::fetch(std::vector<VaRun> runs, DoneCallback done)
         _eq.scheduleIn(0, [this] { maybeFinish(); });
         return;
     }
+    // The whole issue loop -- one translation request per cycle
+    // (Section III-C) -- is one chain train: sub-event k is burst k's
+    // issue slot, and the train re-arms for the next cycle exactly
+    // like the old self-rescheduling event did.
     _issueScheduled = true;
-    _eq.scheduleIn(0, [this] { tryIssue(); });
+    _eq.scheduleTrain(_eq.now(), 1,
+                      [this](std::uint64_t) { return issueStep(); });
 }
 
 bool
@@ -71,12 +76,14 @@ DmaEngine::advance(std::uint64_t len)
         _issuedAll = true;
 }
 
-void
-DmaEngine::tryIssue()
+bool
+DmaEngine::issueStep()
 {
-    _issueScheduled = false;
-    if (!_active || _issuedAll)
-        return;
+    NEUMMU_PROF_SCOPE(_eq.profiler(), ProfSubsystem::DmaIssue);
+    if (!_active || _issuedAll) {
+        _issueScheduled = false;
+        return false;
+    }
 
     Addr va = 0;
     std::uint64_t len = 0;
@@ -94,7 +101,8 @@ DmaEngine::tryIssue()
             _blocked = true;
             _blockedSince = _eq.now();
         }
-        return;
+        _issueScheduled = false;
+        return false;
     }
 
     _burstBytesById.insert(id, len);
@@ -105,11 +113,11 @@ DmaEngine::tryIssue()
         _hook(_eq.now(), va);
     advance(len);
 
-    if (!_issuedAll) {
-        // One translation request per cycle (Section III-C).
-        _issueScheduled = true;
-        _eq.scheduleIn(1, [this] { tryIssue(); });
+    if (_issuedAll) {
+        _issueScheduled = false;
+        return false;
     }
+    return true; // train re-arms: next burst issues next cycle
 }
 
 void
@@ -121,19 +129,25 @@ DmaEngine::onWake()
     _stallCycles += _eq.now() - _blockedSince;
     _sStallCycles += double(_eq.now() - _blockedSince);
     _issueScheduled = true;
-    _eq.scheduleIn(1, [this] { tryIssue(); });
+    _eq.scheduleTrain(_eq.now() + 1, 1,
+                      [this](std::uint64_t) { return issueStep(); });
 }
 
 void
 DmaEngine::onTranslation(const TranslationResponse &resp)
 {
+    NEUMMU_PROF_SCOPE(_eq.profiler(), ProfSubsystem::DmaData);
     const std::uint64_t *len_slot = _burstBytesById.find(resp.id);
     NEUMMU_ASSERT(len_slot, "translation response for unknown burst");
     const std::uint64_t len = *len_slot;
     _burstBytesById.erase(resp.id);
 
     // Launch the data read; completion lands the burst in the SPM.
-    const Tick data_at = _mem.access(_eq.now(), resp.pa, len, false);
+    Tick data_at;
+    {
+        NEUMMU_PROF_SCOPE(_eq.profiler(), ProfSubsystem::Memory);
+        data_at = _mem.access(_eq.now(), resp.pa, len, false);
+    }
     _bytes += len;
     _eq.schedule(data_at, [this] {
         NEUMMU_ASSERT(_inFlight > 0, "burst completion underflow");

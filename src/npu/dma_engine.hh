@@ -33,6 +33,13 @@ struct DmaConfig
     std::uint64_t burstBytes = 1024;
     /** Page size bursts are clipped to (one translation per burst). */
     unsigned pageShift = 12;
+    /**
+     * Capacity hint for the outstanding-burst tracker: an upper
+     * bound on translations the MMU can hold in flight for this
+     * port. Sized from the MMU config so the tracker never rehashes
+     * in steady state (see FlatMap64::rehashCount()).
+     */
+    std::size_t inflightHint = 64;
 };
 
 /**
@@ -83,9 +90,20 @@ class DmaEngine
     {
         return _burstBytesById.highWater();
     }
+    /** Tracker rehashes; 0 when inflightHint was sized right. */
+    std::size_t burstPoolRehashes() const
+    {
+        return _burstBytesById.rehashCount();
+    }
 
   private:
-    void tryIssue();
+    /**
+     * One issue-train sub-event: attempt one burst's translation.
+     * Returns true while the train should keep running (one request
+     * per cycle); false when done, blocked, or the tile is fully
+     * issued.
+     */
+    bool issueStep();
     void onTranslation(const TranslationResponse &resp);
     void onWake();
     bool currentBurst(Addr &va, std::uint64_t &len) const;

@@ -114,6 +114,8 @@ ServingEngine::scheduleArrival(Tick at)
 void
 ServingEngine::onArrival(Tick at)
 {
+    NEUMMU_PROF_SCOPE(_sys.eventQueue().profiler(),
+                      ProfSubsystem::Serving);
     _arrivals++;
     _windowArrivals++;
     _digest = fnvMix(_digest, at);
@@ -149,7 +151,9 @@ ServingEngine::onArrival(Tick at)
 void
 ServingEngine::tryDispatch(unsigned slot)
 {
-    std::deque<PendingRequest> &q = _queues[slot];
+    NEUMMU_PROF_SCOPE(_sys.eventQueue().profiler(),
+                      ProfSubsystem::Serving);
+    ArenaQueue<PendingRequest> &q = _queues[slot];
     if (q.empty() || _sys.dma(slot).busy())
         return;
 
@@ -229,7 +233,7 @@ ServingEngine::sampleWindow()
     _seriesThroughput->append(double(_windowCompleted));
     _seriesGoodput->append(double(_windowGood));
     std::uint64_t depth = 0;
-    for (const std::deque<PendingRequest> &q : _queues)
+    for (const ArenaQueue<PendingRequest> &q : _queues)
         depth += q.size();
     _seriesQueueDepth->append(double(depth));
     _windowArrivals = 0;
@@ -296,7 +300,7 @@ ServingEngine::refreshStats()
     set("arrivalDigestLo", double(_digest & 0xffffffffull));
     set("arrivalDigestHi", double(_digest >> 32));
     std::uint64_t depth = 0;
-    for (const std::deque<PendingRequest> &q : _queues)
+    for (const ArenaQueue<PendingRequest> &q : _queues)
         depth += q.size();
     set("queuedRequests", double(depth));
 }

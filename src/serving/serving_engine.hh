@@ -27,11 +27,11 @@
 #define NEUMMU_SERVING_SERVING_ENGINE_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -166,8 +166,10 @@ class ServingEngine
     /** Tenant-routing stream, independent of the arrival clock. */
     Rng _pickRng;
 
-    /** Per-slot FIFO of requests waiting for the slot's DMA. */
-    std::vector<std::deque<PendingRequest>> _queues;
+    /** Per-slot FIFO of requests waiting for the slot's DMA. An
+     *  ArenaQueue keeps one retained buffer per slot instead of
+     *  std::deque's chunked allocation churn. */
+    std::vector<ArenaQueue<PendingRequest>> _queues;
     std::vector<VaRun> _runs;
 
     bool _started = false;

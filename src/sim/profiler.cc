@@ -1,0 +1,26 @@
+#include "sim/profiler.hh"
+
+#include "common/logging.hh"
+
+namespace neummu {
+
+const char *
+profSubsystemName(ProfSubsystem s)
+{
+    switch (s) {
+      case ProfSubsystem::Kernel: return "kernel";
+      case ProfSubsystem::DmaIssue: return "dmaIssue";
+      case ProfSubsystem::DmaData: return "dmaData";
+      case ProfSubsystem::MmuTranslate: return "mmuTranslate";
+      case ProfSubsystem::MmuWalk: return "mmuWalk";
+      case ProfSubsystem::MmuRespond: return "mmuRespond";
+      case ProfSubsystem::Memory: return "memory";
+      case ProfSubsystem::Paging: return "paging";
+      case ProfSubsystem::Serving: return "serving";
+      case ProfSubsystem::Workload: return "workload";
+      case ProfSubsystem::Count: break;
+    }
+    NEUMMU_PANIC("unknown profile subsystem");
+}
+
+} // namespace neummu

@@ -447,6 +447,8 @@ applyOverride(SystemConfig &cfg, const std::string &key,
         cfg.sim.hubNpus = unsigned(parseU64(key, value));
     } else if (key == "sim.threads") {
         cfg.sim.threads = unsigned(parseU64(key, value));
+    } else if (key == "sim.profile") {
+        cfg.sim.profile = parseU64(key, value) != 0;
     } else {
         unknownKey(key);
     }
@@ -548,6 +550,8 @@ binderKeyTable()
         {"sim.portCredits", "outstanding translations per NPU port"},
         {"sim.hubNpus", "first K NPU slots co-resident on the hub "
                         "queue (auto-covers paging.homeNode)"},
+        {"sim.profile", "1 = host-side cycle attribution (prof.* / "
+                        "fastpath.* stats groups); observational only"},
         {"sim.threads", "worker threads (0 = one per domain); never "
                         "affects results"},
     };

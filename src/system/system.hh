@@ -92,6 +92,14 @@ struct SimConfig
     unsigned hubNpus = 0;
     /** Worker threads (0 = one per domain). Never affects results. */
     unsigned threads = 0;
+    /**
+     * Host-side cycle attribution (see sim/profiler.hh): every event
+     * queue carries a SimProfiler and the dump gains `prof.*` /
+     * `fastpath.*` groups. Purely observational -- simulated results
+     * are identical with it on or off -- but the extra stats groups
+     * mean golden dumps are recorded with it off.
+     */
+    bool profile = false;
 };
 
 /**
@@ -264,6 +272,16 @@ class System
         return _domains ? _domains->peakDepth() : _eq.peakDepth();
     }
 
+    // --- Kernel fast-path observability ----------------------------
+    /** Event trains started, summed across queues. */
+    std::uint64_t trainsStarted();
+    /** Train sub-events run inline (no queue round-trip), summed. */
+    std::uint64_t trainSubEventsInlined();
+    /** Same-tick dispatch shortcuts taken, summed across queues. */
+    std::uint64_t sameTickShortcuts();
+    /** Merged host-cycle attribution (all zero when sim.profile=0). */
+    SimProfiler mergedProfile();
+
     // --- Sharded execution -----------------------------------------
     bool sharded() const { return _domains != nullptr; }
     /** @pre sharded() */
@@ -344,6 +362,20 @@ class System
 
     Npu &npuAt(unsigned idx);
     void refreshSystemStats();
+    /** Populate prof.* / fastpath.* groups (sim.profile only). */
+    void refreshProfileStats();
+
+    /** Apply @p f to every live event queue (serial or sharded). */
+    template <typename F>
+    void forEachQueue(F &&f)
+    {
+        if (_domains) {
+            for (unsigned q = 0; q < _domains->numQueues(); q++)
+                f(_domains->queue(q));
+        } else {
+            f(_eq);
+        }
+    }
 
     SystemConfig _cfg;
     EventQueue _eq;

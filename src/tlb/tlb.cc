@@ -71,6 +71,7 @@ Tlb::lookup(Addr vpn, Addr &pfn_out)
     if (set.head != *idx) {
         unlink(set, *idx);
         linkFront(set, *idx);
+        _gen++;
     }
     pfn_out = _slots[*idx].pfn;
     _hits++;
@@ -87,6 +88,7 @@ Tlb::probe(Addr vpn) const
 void
 Tlb::insert(Addr vpn, Addr pfn)
 {
+    _gen++;
     Set &set = _sets[setOf(vpn)];
     if (const std::uint32_t *existing = _index.find(vpn)) {
         _slots[*existing].pfn = pfn;
@@ -123,11 +125,13 @@ Tlb::invalidate(Addr vpn)
     unlink(_sets[setOf(vpn)], slot);
     _index.erase(vpn);
     _freeSlots.push_back(slot);
+    _gen++;
 }
 
 void
 Tlb::flush()
 {
+    _gen++;
     _index.clear();
     for (Set &set : _sets)
         set = Set{};

@@ -63,6 +63,31 @@ class Tlb
     /** Drop everything. */
     void flush();
 
+    /**
+     * Mutation stamp: changes whenever any cached state changes --
+     * inserts, evictions, invalidations, flushes, and recency
+     * relinks. A caller that snapshots (vpn, pfn, generation()) right
+     * after a hit can, while the stamp is unchanged, service repeat
+     * hits on that vpn without consulting the TLB at all: the entry
+     * is provably still resident, still mapped to the same frame, and
+     * still at the MRU head (so lookup() would not even relink).
+     * Starts at 1; 0 never matches, so zero-initialized snapshot
+     * registers start cold.
+     */
+    std::uint64_t generation() const { return _gen; }
+
+    /**
+     * Account a hit served from a caller's snapshot register (see
+     * generation()) so hit statistics stay identical to the
+     * equivalent lookup() call.
+     */
+    void
+    noteRegisterHit()
+    {
+        _hits++;
+        ++_sHits;
+    }
+
     std::size_t size() const;
     const TlbConfig &config() const { return _cfg; }
     stats::Group &stats() { return _stats; }
@@ -116,6 +141,8 @@ class Tlb
     stats::Scalar &_sEvictions;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
+    /** See generation(). */
+    std::uint64_t _gen = 1;
 };
 
 } // namespace neummu

@@ -84,6 +84,7 @@ PageTable::map(Addr va, Addr pa, unsigned page_shift)
     leaf.frame = pa;
     node->live++;
     _mappedPages++;
+    _cachedVpn = invalidAddr;
 }
 
 UnmapResult
@@ -136,12 +137,24 @@ PageTable::unmap(Addr va)
         parent.valid = false;
         chain[step - 1]->live--;
     }
+    // The pre-unmap path walk above refilled the cache; drop it after
+    // the tree actually changed.
+    _cachedVpn = invalidAddr;
     return res;
 }
 
 WalkResult
 PageTable::walk(Addr va) const
 {
+    if ((va >> smallPageShift) == _cachedVpn) {
+        _walkCacheHits++;
+        WalkResult result = _cachedWalk;
+        result.pa =
+            (result.pa & ~pageOffsetMask(result.pageShift)) |
+            (va & pageOffsetMask(result.pageShift));
+        return result;
+    }
+
     WalkResult result;
     const Node *node = _root.get();
     for (unsigned level = pageTableLevels; level >= 1; level--) {
@@ -162,6 +175,8 @@ PageTable::walk(Addr va) const
             result.valid = true;
             result.pageShift = shift;
             result.pa = e.frame | (va & pageOffsetMask(shift));
+            _cachedVpn = va >> smallPageShift;
+            _cachedWalk = result;
             return result;
         }
         node = e.child.get();

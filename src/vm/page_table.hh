@@ -111,6 +111,9 @@ class PageTable
     /** Translate @p va, reporting the full walk path. */
     WalkResult walk(Addr va) const;
 
+    /** Walks served from the one-entry cache (diagnostics). */
+    std::uint64_t walkCacheHits() const { return _walkCacheHits; }
+
     /** True when @p va has a valid mapping. */
     bool isMapped(Addr va) const;
 
@@ -129,6 +132,20 @@ class PageTable
     FrameAllocator &_alloc;
     std::unique_ptr<Node> _root;
     std::uint64_t _mappedPages = 0;
+
+    /**
+     * One-entry walk cache, keyed at 4 KB granularity. The
+     * translation stream walks the same page back to back (a tile's
+     * bursts, an oracle MMU's per-request walks), and the tree is
+     * immutable between map()/unmap() calls -- which drop the entry
+     * -- so replaying the last result (with the page offset patched
+     * in) is exact. Mutable because walk() is logically const; all
+     * walkers live on the hub event domain, so there is no
+     * cross-thread access.
+     */
+    mutable Addr _cachedVpn = invalidAddr;
+    mutable WalkResult _cachedWalk;
+    mutable std::uint64_t _walkCacheHits = 0;
 };
 
 } // namespace neummu
