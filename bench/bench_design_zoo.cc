@@ -51,6 +51,10 @@ struct Cell
     bool allDone = false;
     Tick cycles = 0;
     MmuCounts mmu;
+    /** Design-reported translation energy (satellite of Fig. 12:
+     *  the zoo designs charge their own structures, e.g. POM-TLB's
+     *  in-DRAM set reads, on top of the walker-core model). */
+    double energyNj = 0.0;
     serving::ServeReport serve;
 };
 
@@ -109,6 +113,7 @@ runCell(const std::string &design, const Point &pt)
     out.allDone = pt.serving || result.allDone;
     out.cycles = result.totalCycles;
     out.mmu = system.mmu().counts();
+    out.energyNj = system.mmu().translationEnergyNj();
     if (pt.serving)
         out.serve = system.servingEngine().report();
     return out;
@@ -127,6 +132,11 @@ recordCell(stats::Group &g, const Cell &cell, const Point &pt,
     g.scalar("blockedIssues").set(double(cell.mmu.blockedIssues));
     g.scalar("faults").set(double(cell.mmu.faults));
     g.scalar("shootdowns").set(double(cell.mmu.shootdowns));
+    g.scalar("translationEnergyNj").set(cell.energyNj);
+    g.scalar("energyNjPerTransl")
+        .set(cell.mmu.responses
+                 ? cell.energyNj / double(cell.mmu.responses)
+                 : 0.0);
     if (pt.serving) {
         g.scalar("completed").set(double(cell.serve.completed));
         g.scalar("p99").set(double(cell.serve.p99));
@@ -188,9 +198,9 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("%-8s %-7s %12s %8s %9s %9s %10s %6s\n", "design",
-                "point", "cycles", "norm", "walks", "tlbHits",
-                "shootdowns", "extra");
+    std::printf("%-8s %-7s %12s %8s %9s %9s %10s %8s %6s\n",
+                "design", "point", "cycles", "norm", "walks",
+                "tlbHits", "shootdowns", "nJ/tr", "extra");
     for (std::size_t d = 0; d < designs.size(); d++) {
         for (std::size_t p = 0; p < points.size(); p++) {
             const Cell &cell = cells[d * points.size() + p];
@@ -221,14 +231,18 @@ main(int argc, char **argv)
                 if (cell.serve.completed == 0)
                     ok = false;
             }
+            const double nj_per_transl =
+                cell.mmu.responses
+                    ? cell.energyNj / double(cell.mmu.responses)
+                    : 0.0;
             std::printf("%-8s %-7s %12llu %8.3f %9llu %9llu %10llu"
-                        " %s\n",
+                        " %8.3f %s\n",
                         designs[d].c_str(), points[p].name.c_str(),
                         (unsigned long long)cell.cycles, norm,
                         (unsigned long long)cell.mmu.walks,
                         (unsigned long long)cell.mmu.tlbHits,
                         (unsigned long long)cell.mmu.shootdowns,
-                        extra);
+                        nj_per_transl, extra);
             recordCell(reporter.group("zoo." + designs[d] + "." +
                                       points[p].name),
                        cell, points[p], norm);

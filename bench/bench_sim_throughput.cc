@@ -35,6 +35,7 @@
 #include "mmu/mmu_core.hh"
 #include "npu/dma_engine.hh"
 #include "sim/profiler.hh"
+#include "trace/trace_engine.hh"
 #include "system/embedding_system.hh"
 #include "workloads/embedding_workload.hh"
 #include "workloads/synthetic_workload.hh"
@@ -48,6 +49,12 @@ namespace {
  *  headline reps stay unprofiled: the attribution pass is separate
  *  because the per-scope clock reads add measurable host overhead. */
 bool g_profile = false;
+
+/** When set, meter() runs with trace.enabled (tailThreshold 0, the
+ *  keep-everything worst case) so the trace pass can measure the
+ *  tracing-on overhead and pin it observational. The headline reps
+ *  stay untraced for the same reason as profiling. */
+bool g_trace = false;
 
 /** Deterministic per-run counters plus the host-side wall time. */
 struct RunSample
@@ -66,6 +73,8 @@ struct RunSample
     std::uint64_t xlateRegisterHits = 0;
     std::uint64_t burstRehashes = 0;
     std::uint64_t burstHighWater = 0;
+    // Lifecycle spans recorded; zero unless trace.enabled was on.
+    std::uint64_t spansRecorded = 0;
     // Host-cycle attribution; all-zero unless sim.profile was on.
     SimProfiler prof;
 };
@@ -95,6 +104,7 @@ meter(SystemConfig cfg,
       const std::function<void(System &, Scheduler &)> &place)
 {
     cfg.sim.profile = g_profile;
+    cfg.trace.enabled = g_trace;
     System system(std::move(cfg));
     Scheduler scheduler(system);
     place(system, scheduler);
@@ -118,6 +128,11 @@ meter(SystemConfig cfg,
         s.burstHighWater = std::max(
             s.burstHighWater,
             std::uint64_t(system.dma(i).burstPoolHighWater()));
+    }
+    if (system.hasTraceEngine()) {
+        trace::TraceEngine &te = system.traceEngine();
+        for (unsigned q = 0; q < te.numBuffers(); q++)
+            s.spansRecorded += te.buffer(q).spansRecorded();
     }
     s.prof = system.mergedProfile();
     return s;
@@ -305,6 +320,7 @@ main(int argc, char **argv)
                     "profile", "trains", "inlined", "sameTick",
                     "regHits", "walkCache");
         std::uint64_t fastpath_sum = 0;
+        SimProfiler merged_prof;
         for (std::size_t i = 0; i < scenarios.size(); i++) {
             const Scenario &sc = scenarios[i];
             const RunSample s = sc.run();
@@ -346,6 +362,7 @@ main(int argc, char **argv)
             fastpath_sum += s.trainsStarted + s.trainSubInlined +
                             s.sameTickShortcuts + s.walkCacheHits +
                             s.xlateRegisterHits;
+            merged_prof.merge(s.prof);
 
             std::printf("%-22s %12llu %12llu %12llu %12llu %12llu\n",
                         sc.name.c_str(),
@@ -362,6 +379,79 @@ main(int argc, char **argv)
                          "the optimized paths never ran\n");
             return 1;
         }
+
+        // Flamegraph-compatible collapsed stacks over all profiled
+        // scenarios (feed to flamegraph.pl / speedscope as-is).
+        const std::string collapsed_path =
+            reporter.args().get("collapsed", "");
+        if (!collapsed_path.empty()) {
+            const std::string stacks = merged_prof.collapsed();
+            if (std::FILE *f =
+                    std::fopen(collapsed_path.c_str(), "w")) {
+                std::fwrite(stacks.data(), 1, stacks.size(), f);
+                std::fclose(f);
+                std::printf("wrote collapsed stacks to %s\n",
+                            collapsed_path.c_str());
+            } else {
+                std::fprintf(stderr,
+                             "FATAL: cannot write collapsed stacks "
+                             "to %s\n",
+                             collapsed_path.c_str());
+                return 1;
+            }
+        }
+    }
+
+    // --- Trace-overhead pass (--trace=1, default on): re-run each
+    // scenario once with trace.enabled at tailThreshold=0 (the
+    // keep-everything worst case) and report the tracing-on cost.
+    // Tracing must be observational: simulated counters pinned
+    // identical to the untraced headline run. The headline numbers
+    // above -- what bench_delta compares across commits -- always run
+    // untraced, so a trace-subsystem regression on the off path shows
+    // up there, not here.
+    if (reporter.args().getInt("trace", 1) != 0) {
+        g_trace = true;
+        std::printf("\n%-22s %12s %12s %10s\n", "trace", "spans",
+                    "wallMs", "overhead");
+        for (std::size_t i = 0; i < scenarios.size(); i++) {
+            const Scenario &sc = scenarios[i];
+            const RunSample s = sc.run();
+            if (s.events != headline[i].events ||
+                s.simTicks != headline[i].simTicks ||
+                s.translations != headline[i].translations) {
+                std::fprintf(stderr,
+                             "FATAL: %s traced run changed simulated "
+                             "counters -- tracing must be "
+                             "observational\n",
+                             sc.name.c_str());
+                return 1;
+            }
+            if (s.spansRecorded == 0) {
+                std::fprintf(stderr,
+                             "FATAL: %s traced run recorded no "
+                             "spans -- the instrumentation is dead\n",
+                             sc.name.c_str());
+                return 1;
+            }
+            const double base_ms =
+                headline[i].wallSec * 1e3 / reps;
+            const double traced_ms = s.wallSec * 1e3;
+            const double overhead =
+                base_ms > 0.0 ? traced_ms / base_ms - 1.0 : 0.0;
+
+            stats::Group &g =
+                reporter.group("sim." + sc.name + ".trace");
+            g.scalar("spansRecorded").set(double(s.spansRecorded));
+            g.scalar("wallMs").set(traced_ms);
+            g.scalar("overheadPct").set(overhead * 100.0);
+
+            std::printf("%-22s %12llu %12.1f %9.1f%%\n",
+                        sc.name.c_str(),
+                        (unsigned long long)s.spansRecorded,
+                        traced_ms, overhead * 100.0);
+        }
+        g_trace = false;
     }
 
     // --- Sharded scaling curve (ISSUE 6): the 64-NPU mix across the

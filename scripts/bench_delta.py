@@ -7,7 +7,10 @@ Usage: bench_delta.py PREV.json CURR.json
 Informational only: the rates are wall-clock-derived and vary by
 host load, so this never fails the build -- it exists so a local
 scripts/check.sh run shows immediately whether a kernel change moved
-the needle, and in which scenario.
+the needle, and in which scenario. A missing, corrupt, or
+schema-drifted previous report (the first run on a fresh checkout,
+an interrupted earlier run, a renamed scenario set) prints a "no
+baseline" note and the current rates instead of a traceback.
 """
 
 import json
@@ -15,25 +18,47 @@ import sys
 
 
 def rates(path):
-    """Map scenario name -> eventsPerSec for the sim.* groups."""
-    with open(path) as f:
-        report = json.load(f)
+    """Map scenario name -> eventsPerSec for the sim.* groups.
+
+    Returns (rates, problem): rates is {} when the file is missing,
+    unparseable, or not shaped like a bench report, and problem then
+    says why (None when the file was fine).
+    """
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        return {}, f"unreadable ({e.strerror or e})"
+    except json.JSONDecodeError as e:
+        return {}, f"corrupt JSON ({e.msg} at line {e.lineno})"
+    if not isinstance(report, dict):
+        return {}, "not a bench report (top level is not an object)"
     out = {}
     for group, stats in report.items():
         if not group.startswith("sim.") or group.endswith(".profile"):
             continue
         if isinstance(stats, dict) and "eventsPerSec" in stats:
-            out[group[len("sim."):]] = float(stats["eventsPerSec"])
-    return out
+            try:
+                out[group[len("sim."):]] = float(stats["eventsPerSec"])
+            except (TypeError, ValueError):
+                continue
+    if not out:
+        return {}, "no sim.* scenario groups"
+    return out, None
 
 
 def main():
     if len(sys.argv) != 3:
         sys.exit(f"usage: {sys.argv[0]} PREV.json CURR.json")
-    prev, curr = rates(sys.argv[1]), rates(sys.argv[2])
-    if not prev or not curr:
-        print("bench_delta: no sim.* scenario groups found; skipping")
+    prev, prev_problem = rates(sys.argv[1])
+    curr, curr_problem = rates(sys.argv[2])
+    if curr_problem:
+        print(f"bench_delta: current report {sys.argv[2]}: "
+              f"{curr_problem}; nothing to compare")
         return
+    if prev_problem:
+        print(f"bench_delta: no baseline ({sys.argv[1]}: "
+              f"{prev_problem}); current rates only")
 
     print(f"{'scenario':<24} {'prev ev/s':>14} {'curr ev/s':>14} "
           f"{'delta':>8}")
@@ -49,6 +74,9 @@ def main():
     for name in dropped:
         print(f"{name:<24} {prev[name]:>14.0f} {'-':>14} "
               f"{'gone':>8}")
+    if prev and not set(prev) & set(curr):
+        print("bench_delta: note: no scenario overlaps the baseline "
+              "(scenario set drifted); deltas unavailable")
 
 
 if __name__ == "__main__":

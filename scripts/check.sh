@@ -358,10 +358,72 @@ if [[ ! -s "$ZOO_JSON" ]]; then
 fi
 for key in '"zoo.range.dense"' '"zoo.pomtlb.embed"' \
            '"zoo.nmt.hotset"' '"zoo.neummu.serve"' '"normPerf"' \
-           '"shootdowns"' '"goodput"'; do
+           '"shootdowns"' '"goodput"' '"energyNjPerTransl"'; do
   if ! grep -q "$key" "$ZOO_JSON"; then
     echo "error: design-zoo report is missing $key" >&2
     exit 1
   fi
 done
+# Every zoo design reports translation energy (the walker-core model
+# plus design-specific structures, e.g. POM-TLB's in-DRAM sets); a
+# zero-energy pomtlb row means the override vanished.
+if command -v python3 > /dev/null; then
+  python3 - "$ZOO_JSON" << 'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for design in ("iommu", "neummu", "range", "pomtlb", "nmt"):
+    row = report.get(f"zoo.{design}.dense", {})
+    if float(row.get("translationEnergyNj", 0.0)) <= 0.0:
+        sys.exit(f"error: zoo design {design} reports no "
+                 "translation energy")
+print("design-zoo energy rows: all designs report energy")
+EOF
+fi
 echo "design-zoo report: $ZOO_JSON"
+
+# --- Tracing gates -----------------------------------------------------
+# Request-lifecycle tracing: the churn serving scenario with a tail
+# threshold must produce a Perfetto-loadable Chrome trace that is
+# byte-identical across sim.shards=1 and 4, and the trace must pass
+# the schema validator. With trace.* off (every run above), the
+# golden matrix and serving dumps already pinned byte-identity -- the
+# off path adds nothing to the dump. Belt and braces: an explicit
+# trace.enabled=0 run must dump byte-identically to the plain run.
+if [[ ! -x "$BUILD_DIR/neummu_trace" ]]; then
+  echo "error: neummu_trace was not built" >&2
+  exit 1
+fi
+TRACE_OFF="$BUILD_DIR/BENCH_serve_traceoff.json"
+"$BUILD_DIR/neummu_serve" --cycles=4000000 --seed=7 \
+    --set="$SERVE_CHURN_SET;trace.enabled=0" --json="$TRACE_OFF" \
+    > /dev/null
+if ! cmp -s "$SERVE_CHURN" "$TRACE_OFF"; then
+  echo "error: trace.enabled=0 changed the serving dump; the off" \
+       "path must be invisible" >&2
+  exit 1
+fi
+
+TRACE_S1="$BUILD_DIR/serve_churn_shards1.trace.json"
+TRACE_S4="$BUILD_DIR/serve_churn_shards4.trace.json"
+TRACE_STATS="$BUILD_DIR/BENCH_serve_traced.json"
+"$BUILD_DIR/neummu_serve" --cycles=4000000 --seed=7 \
+    --set="$SERVE_CHURN_SET;sim.shards=1;trace.tailThreshold=20000" \
+    --trace="$TRACE_S1" --json="$TRACE_STATS" > /dev/null
+"$BUILD_DIR/neummu_serve" --cycles=4000000 --seed=7 \
+    --set="$SERVE_CHURN_SET;sim.shards=4;trace.tailThreshold=20000" \
+    --trace="$TRACE_S4" --report=0 > /dev/null
+if ! cmp -s "$TRACE_S1" "$TRACE_S4"; then
+  echo "error: Chrome trace diverged between sim.shards=1 and 4" >&2
+  exit 1
+fi
+if command -v python3 > /dev/null; then
+  python3 scripts/check_trace.py "$TRACE_S1" --min-events=10
+fi
+# The traced dump must carry the trace.* stats group with the counted
+# ring-drop statistic (zero is fine; absent is not).
+if ! grep -q '"dropped"' "$TRACE_STATS"; then
+  echo "error: traced serving dump is missing the trace.dropped" \
+       "statistic" >&2
+  exit 1
+fi
+echo "tracing gate: trace shards 1 == 4, schema valid ($TRACE_S1)"

@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "common/logging.hh"
+
 namespace neummu {
 namespace stats {
 
@@ -101,6 +103,26 @@ Histogram::reset()
     _sum = 0.0;
     _min = ~std::uint64_t(0);
     _max = 0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other._count == 0)
+        return;
+    // Bucket indices only line up when the precision matches; every
+    // histogram in the simulator uses the default 5 bits, so a
+    // mismatch is a programming error worth dying on.
+    NEUMMU_ASSERT(_bits == other._bits,
+                  "histogram precision mismatch in merge");
+    if (_buckets.size() < other._buckets.size())
+        _buckets.resize(other._buckets.size(), 0);
+    for (std::size_t i = 0; i < other._buckets.size(); i++)
+        _buckets[i] += other._buckets[i];
+    _count += other._count;
+    _sum += other._sum;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
 }
 
 std::uint64_t

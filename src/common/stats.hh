@@ -127,6 +127,14 @@ class Histogram
     void record(std::uint64_t v, std::uint64_t n = 1);
     void reset();
 
+    /**
+     * Bucket-wise sum of @p other into this histogram (dump-time
+     * aggregation of per-domain histograms). Both sides must use the
+     * same precision; quantiles of the merge equal the quantiles of
+     * recording both sample streams into one histogram.
+     */
+    void merge(const Histogram &other);
+
     std::uint64_t count() const { return _count; }
     std::uint64_t min() const { return _count ? _min : 0; }
     std::uint64_t max() const { return _count ? _max : 0; }

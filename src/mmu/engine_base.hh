@@ -52,6 +52,12 @@ class TimedMmuEngine : public MmuEngine
     /** Common counter mirror + the design-specific hook. */
     void refreshStats() override;
 
+    /** Attach a lifecycle trace buffer (hub queue's; System wiring). */
+    void setTraceBuffer(trace::TraceBuffer *buf) override
+    {
+        _trace = buf;
+    }
+
     /** Outstanding misses currently in flight (tests/diagnostics). */
     unsigned busyLookups() const { return _busy; }
 
@@ -90,6 +96,8 @@ class TimedMmuEngine : public MmuEngine
     bool _lifecycle = false;
     /** Outstanding misses (issue slots taken). */
     unsigned _busy = 0;
+    /** Lifecycle trace buffer; null keeps tracing off this design. */
+    trace::TraceBuffer *_trace = nullptr;
     MmuCounts _counts;
 
   private:

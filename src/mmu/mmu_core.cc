@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "trace/trace_engine.hh"
 
 namespace neummu {
 
@@ -299,6 +300,8 @@ MmuCore::translate(Addr va, std::uint64_t id)
             ready = _fault(va, now);
             walk = _pt.walk(va);
             NEUMMU_ASSERT(walk.valid, "fault handler did not map page");
+            if (_trace && ready > now)
+                _trace->span(id, trace::Stage::Fault, now, ready);
         }
         respondAt(std::max(now, ready),
                   TranslationResponse{id, va, walk.pa});
@@ -315,6 +318,9 @@ MmuCore::translate(Addr va, std::uint64_t id)
         _tlb.noteRegisterHit();
         _xlateRegHits++;
         _counts.tlbHits++;
+        if (_trace)
+            _trace->span(id, trace::Stage::TlbHit, now,
+                         now + _cfg.tlb.hitLatency);
         respondAt(now + _cfg.tlb.hitLatency,
                   TranslationResponse{id, va,
                                       (reg.pfn << _cfg.pageShift) |
@@ -330,6 +336,9 @@ MmuCore::translate(Addr va, std::uint64_t id)
         reg.vpn = vpn;
         reg.pfn = pfn;
         reg.gen = _tlb.generation();
+        if (_trace)
+            _trace->span(id, trace::Stage::TlbHit, now,
+                         now + _cfg.tlb.hitLatency);
         respondAt(now + _cfg.tlb.hitLatency,
                   TranslationResponse{id, va,
                                       (pfn << _cfg.pageShift) |
@@ -355,6 +364,8 @@ MmuCore::translate(Addr va, std::uint64_t id)
                 pending.push_back(TranslationResponse{id, va,
                                                       invalidAddr});
                 _counts.prmbMerges++;
+                if (_trace)
+                    _trace->open(id, trace::Stage::PrmbMerge, now);
                 return true;
             }
             _counts.blockedIssues++;
@@ -430,6 +441,23 @@ MmuCore::launchWalk(unsigned walker_idx, Addr va, bool initial)
     const Tick start =
         std::max(initial ? now + _cfg.tlb.hitLatency : now, ready);
     const Tick done = start + Tick(accesses) * _cfg.walkLatencyPerLevel;
+
+    if (_trace) {
+        // Demand walks trace under the initiator's (tagged) id;
+        // speculative walks have no requester, so they get their own
+        // standalone prefetch key and never fold into a request.
+        const bool speculative = pendingOf(w).empty();
+        const std::uint64_t key = speculative
+                                      ? (trace::prefetchTag | w.vpn)
+                                      : pendingOf(w).front().id;
+        if (initial && !speculative)
+            _trace->span(key, trace::Stage::TlbMiss, now,
+                         now + _cfg.tlb.hitLatency);
+        if (ready > now)
+            _trace->span(key, trace::Stage::Fault, now, ready);
+        _trace->span(key, trace::Stage::Walk, start, done,
+                     std::uint32_t(accesses));
+    }
 
     // The walk outcome parks in the walker (it is busy until the
     // completion fires), so the continuation capture stays tiny and
@@ -529,6 +557,15 @@ MmuCore::finishWalk(unsigned walker_idx)
         resp.pa = (walk.pa & ~off_mask) | (resp.va & off_mask);
 
     const std::size_t k = pending.size();
+    if (_trace) {
+        // Merged requests drain one per cycle behind the initiator;
+        // each merge span closes at its scheduled delivery tick
+        // (known now -- both drain paths assign now+i), so no work
+        // rides inside the delivery events themselves.
+        for (std::size_t i = 1; i < k; i++)
+            _trace->close(pending[i].id, trace::Stage::PrmbMerge,
+                          now + Tick(i));
+    }
     if (!_lifecycle && k > 1) {
         // Batch drain train: one scheduled anchor expands into k
         // back-to-back deliveries at now..now+k-1 with the exact

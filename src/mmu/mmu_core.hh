@@ -185,6 +185,12 @@ class MmuCore : public MmuEngine
      */
     void refreshStats() override;
 
+    /** Attach a lifecycle trace buffer (hub queue's; System wiring). */
+    void setTraceBuffer(trace::TraceBuffer *buf) override
+    {
+        _trace = buf;
+    }
+
     /** Fig. 13: per-level TPreg tag-match statistics (all PTWs). */
     const TpReg::MatchStats &tpregStats() const { return _tpregStats; }
     /** Section IV-C: shared-cache statistics (Tpc/Uptc modes). */
@@ -303,6 +309,7 @@ class MmuCore : public MmuEngine
     WakeCallback _wake;
     FaultHandler _fault;
     AccessHook _access;
+    trace::TraceBuffer *_trace = nullptr;
     /** Lifecycle bookkeeping enabled (see enableLifecycle()). */
     bool _lifecycle = false;
     /** VPN -> scheduled-but-undelivered responses (lifecycle only). */

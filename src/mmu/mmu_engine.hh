@@ -18,12 +18,17 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mmu/energy_model.hh"
 #include "mmu/translation.hh"
 #include "vm/page_table.hh"
 
 namespace neummu {
 
 class MmuCore;
+
+namespace trace {
+class TraceBuffer;
+}
 
 /**
  * Abstract MMU design point. Every design the factory registers
@@ -89,6 +94,25 @@ class MmuEngine : public TranslationEngine
      * whatever bounds the design's outstanding misses).
      */
     virtual unsigned walkerBudget() const = 0;
+
+    /**
+     * Attach a lifecycle trace buffer (System wiring). Default no-op
+     * so designs without span instrumentation compile unchanged; the
+     * buffer must be the hub queue's (the engine runs hub-side).
+     */
+    virtual void setTraceBuffer(trace::TraceBuffer *buf) { (void)buf; }
+
+    /**
+     * Total translation energy in nanojoules under the shared
+     * EnergyModel constants. The default prices counts(), which every
+     * design maintains; designs whose dominant structures fall outside
+     * MmuCounts (range CAMs, DRAM TLBs, near-memory units) override
+     * with structure-specific accounting.
+     */
+    virtual double translationEnergyNj() const
+    {
+        return EnergyModel{}.translationEnergyNj(counts());
+    }
 
     /** Walker-core downcast for drivers that read core-only stats
      *  (TPreg match rates, shared path caches); null otherwise. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "trace/trace_engine.hh"
 
 namespace neummu {
 
@@ -35,6 +36,9 @@ Nmt::translate(Addr va, std::uint64_t id)
         if (walk.valid) {
             _counts.tlbHits++;
             it->second = ++_useTick;
+            if (_trace)
+                _trace->span(id, trace::Stage::TlbHit, now,
+                             now + _cfg.hitLatency);
             respondAt(now + _cfg.hitLatency,
                       TranslationResponse{id, va, walk.pa});
             return true;
@@ -53,6 +57,13 @@ Nmt::translate(Addr va, std::uint64_t id)
     _counts.walks++;
     _counts.walkMemAccesses += 1;
     const Tick done = now + _cfg.hitLatency + _cfg.fetchLatency;
+    if (_trace) {
+        _trace->span(id, trace::Stage::TlbMiss, now,
+                     now + _cfg.hitLatency);
+        // One flat near-memory index fetch, not a radix walk.
+        _trace->span(id, trace::Stage::Lookup, now + _cfg.hitLatency,
+                     done);
+    }
     _eq.schedule(done, [this, va, id] { finishFetch(va, id); });
     return true;
 }
@@ -63,6 +74,8 @@ Nmt::finishFetch(Addr va, std::uint64_t id)
     const Tick now = _eq.now();
     Tick ready = now;
     const WalkResult walk = resolve(va, now, ready);
+    if (_trace && ready > now)
+        _trace->span(id, trace::Stage::Fault, now, ready);
     const Addr vpn = vpnOf(va);
 
     // Insert as MRU first so the new entry can never be its own

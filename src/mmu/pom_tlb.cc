@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "trace/trace_engine.hh"
 
 namespace neummu {
 
@@ -56,6 +57,9 @@ PomTlb::translate(Addr va, std::uint64_t id)
         _l1.noteRegisterHit();
         _xlateRegHits++;
         _counts.tlbHits++;
+        if (_trace)
+            _trace->span(id, trace::Stage::TlbHit, now,
+                         now + _cfg.l1.hitLatency);
         respondAt(now + _cfg.l1.hitLatency,
                   TranslationResponse{
                       id, va,
@@ -69,6 +73,9 @@ PomTlb::translate(Addr va, std::uint64_t id)
         reg.vpn = vpn;
         reg.pfn = pfn;
         reg.gen = _l1.generation();
+        if (_trace)
+            _trace->span(id, trace::Stage::TlbHit, now,
+                         now + _cfg.l1.hitLatency);
         respondAt(now + _cfg.l1.hitLatency,
                   TranslationResponse{
                       id, va,
@@ -92,6 +99,14 @@ PomTlb::translate(Addr va, std::uint64_t id)
     const Tick line_read =
         _mem.access(now + _cfg.l1.hitLatency, setAddr(vpn),
                     pomLineBytes, false);
+    if (_trace) {
+        _trace->span(id, trace::Stage::TlbMiss, now,
+                     now + _cfg.l1.hitLatency);
+        // The in-DRAM set read is the design's lookup structure, not
+        // a radix walk -- trace it as Lookup.
+        _trace->span(id, trace::Stage::Lookup,
+                     now + _cfg.l1.hitLatency, line_read);
+    }
     _eq.schedule(line_read,
                  [this, va, id] { finishPomLookup(va, id); });
     return true;
@@ -126,6 +141,12 @@ PomTlb::finishPomLookup(Addr va, std::uint64_t id)
     _counts.walkMemAccesses += walk.levels;
     const Tick done = std::max(now, ready) +
                       Tick(walk.levels) * _cfg.walkLatencyPerLevel;
+    if (_trace) {
+        if (ready > now)
+            _trace->span(id, trace::Stage::Fault, now, ready);
+        _trace->span(id, trace::Stage::Walk, std::max(now, ready),
+                     done, std::uint32_t(walk.levels));
+    }
     _eq.schedule(done, [this, va, id] { finishWalk(va, id); });
 }
 
@@ -135,6 +156,8 @@ PomTlb::finishWalk(Addr va, std::uint64_t id)
     const Tick now = _eq.now();
     Tick ready = now;
     const WalkResult walk = resolve(va, now, ready);
+    if (_trace && ready > now)
+        _trace->span(id, trace::Stage::Fault, now, ready);
     const Addr vpn = vpnOf(va);
     const Addr pfn = walk.pa >> _pageShift;
 

@@ -54,6 +54,16 @@ class PomTlb : public TimedMmuEngine
     bool translate(Addr va, std::uint64_t id) override;
     unsigned walkerBudget() const override { return _cfg.numWalkers; }
 
+    /** Adds the in-DRAM table's line traffic (set reads on every L1
+     *  miss plus fill writes), which walkMemAccesses does not cover,
+     *  on top of the shared counts() pricing. */
+    double translationEnergyNj() const override
+    {
+        const EnergyModel e{};
+        return e.translationEnergyNj(counts()) +
+               e.dramAccessNj * double(_pomLookups + _pomInstalls);
+    }
+
     const PomTlbConfig &config() const { return _cfg; }
     /** Live in-memory entries (tests/diagnostics). */
     std::size_t pomSize() const { return _pomSize; }

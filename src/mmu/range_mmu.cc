@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "trace/trace_engine.hh"
 
 namespace neummu {
 
@@ -56,6 +57,9 @@ RangeMmu::translate(Addr va, std::uint64_t id)
         _counts.tlbHits++;
         r->lastUse = ++_useTick;
         const Addr pfn = r->pfnBase + (vpn - r->vpnBase);
+        if (_trace)
+            _trace->span(id, trace::Stage::TlbHit, now,
+                         now + _cfg.hitLatency);
         respondAt(now + _cfg.hitLatency,
                   TranslationResponse{
                       id, va,
@@ -84,6 +88,14 @@ RangeMmu::translate(Addr va, std::uint64_t id)
     const Tick start = std::max(now + _cfg.hitLatency, ready);
     const Tick done =
         start + Tick(walk.levels) * _cfg.walkLatencyPerLevel;
+    if (_trace) {
+        _trace->span(id, trace::Stage::TlbMiss, now,
+                     now + _cfg.hitLatency);
+        if (ready > now)
+            _trace->span(id, trace::Stage::Fault, now, ready);
+        _trace->span(id, trace::Stage::Walk, start, done,
+                     std::uint32_t(walk.levels));
+    }
     _eq.schedule(done, [this, va, id] { finishWalk(va, id); });
     return true;
 }
@@ -98,6 +110,8 @@ RangeMmu::finishWalk(Addr va, std::uint64_t id)
     // it back in through the handler instead of answering stale.
     Tick ready = now;
     const WalkResult walk = resolve(va, now, ready);
+    if (_trace && ready > now)
+        _trace->span(id, trace::Stage::Fault, now, ready);
 
     const Addr vpn = vpnOf(va);
     const Addr pfn = walk.pa >> _pageShift;

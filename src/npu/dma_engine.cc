@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "trace/trace_engine.hh"
 
 namespace neummu {
 
@@ -109,6 +110,9 @@ DmaEngine::issueStep()
     _inFlight++;
     _translations++;
     ++_sTranslationsIssued;
+    if (_trace)
+        _trace->open(_traceKeyBase | id, trace::Stage::Translation,
+                     _eq.now());
     if (_hook)
         _hook(_eq.now(), va);
     advance(len);
@@ -128,6 +132,12 @@ DmaEngine::onWake()
     _blocked = false;
     _stallCycles += _eq.now() - _blockedSince;
     _sStallCycles += double(_eq.now() - _blockedSince);
+    // The rejected attempts burned ids, so the wait can't be pinned on
+    // the id that eventually succeeds; charge it to the port's
+    // credit-wait sentinel key instead.
+    if (_trace && _eq.now() > _blockedSince)
+        _trace->span(trace::creditWaitKey(_traceKeyBase),
+                     trace::Stage::CreditWait, _blockedSince, _eq.now());
     _issueScheduled = true;
     _eq.scheduleTrain(_eq.now() + 1, 1,
                       [this](std::uint64_t) { return issueStep(); });
@@ -141,6 +151,13 @@ DmaEngine::onTranslation(const TranslationResponse &resp)
     NEUMMU_ASSERT(len_slot, "translation response for unknown burst");
     const std::uint64_t len = *len_slot;
     _burstBytesById.erase(resp.id);
+    if (_trace) {
+        const std::uint64_t key = _traceKeyBase | resp.id;
+        const Tick dur = _trace->close(key, trace::Stage::Translation,
+                                       _eq.now());
+        if (dur != maxTick)
+            _trace->complete(key, dur);
+    }
 
     // Launch the data read; completion lands the burst in the SPM.
     Tick data_at;

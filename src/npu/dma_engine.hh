@@ -26,6 +26,10 @@
 
 namespace neummu {
 
+namespace trace {
+class TraceBuffer;
+}
+
 /** DMA engine configuration. */
 struct DmaConfig
 {
@@ -76,6 +80,18 @@ class DmaEngine
 
     /** Install an optional per-attempt trace hook (trace recording). */
     void setTraceHook(TraceHook hook) { _traceHook = std::move(hook); }
+
+    /**
+     * Attach a lifecycle trace buffer (System wiring). @p key_base is
+     * this port's router client tag (client << clientShift), OR'd
+     * onto raw DMA ids so trace keys match the tagged ids the MMU
+     * sees. Null (the default) keeps tracing fully off this path.
+     */
+    void setTrace(trace::TraceBuffer *buf, std::uint64_t key_base)
+    {
+        _trace = buf;
+        _traceKeyBase = key_base;
+    }
 
     std::uint64_t translationsIssued() const { return _translations; }
     std::uint64_t bytesFetched() const { return _bytes; }
@@ -133,6 +149,8 @@ class DmaEngine
 
     IssueHook _hook;
     TraceHook _traceHook;
+    trace::TraceBuffer *_trace = nullptr;
+    std::uint64_t _traceKeyBase = 0;
     std::uint64_t _translations = 0;
     std::uint64_t _bytes = 0;
     std::uint64_t _stallCycles = 0;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "system/system.hh"
+#include "trace/trace_engine.hh"
 
 namespace neummu {
 namespace serving {
@@ -131,7 +132,7 @@ ServingEngine::onArrival(Tick at)
             _dropped++;
             *tenant->droppedStat += 1.0;
         } else {
-            _queues[tenant->slot].push_back({tenant, at});
+            _queues[tenant->slot].push_back({tenant, at, _enqueued++});
             tenant->pending++;
             tryDispatch(tenant->slot);
         }
@@ -182,6 +183,23 @@ ServingEngine::onRequestDone(unsigned slot, PendingRequest req,
     _latency->record(latency);
     _queueWait->record(dispatched - req.arrived);
     _service->record(done - dispatched);
+
+    if (_trace) {
+        // The whole request lifecycle is known here, so the parent
+        // span and its queue/service children are recorded in one
+        // shot -- no open-span tracking on the arrival path. aux
+        // carries (tenant ordinal, slot) for per-tenant attribution.
+        const std::uint64_t key = trace::requestTag | req.seq;
+        const std::uint32_t aux =
+            std::uint32_t((tenant.id & 0xFFFF) << 16 | tenant.slot);
+        _trace->span(key, trace::Stage::Request, req.arrived, done,
+                     aux);
+        _trace->span(key, trace::Stage::ReqQueue, req.arrived,
+                     dispatched, aux);
+        _trace->span(key, trace::Stage::ReqService, dispatched, done,
+                     aux);
+        _trace->complete(key, latency);
+    }
 
     _completed++;
     _windowCompleted++;

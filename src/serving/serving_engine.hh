@@ -45,6 +45,10 @@ namespace neummu {
 
 class System;
 
+namespace trace {
+class TraceBuffer;
+}
+
 namespace serving {
 
 /** Point-in-time SLO summary (the neummu_serve report surface). */
@@ -141,11 +145,18 @@ class ServingEngine
     /** Mirror live counters into the stats group before a dump. */
     void refreshStats();
 
+    /** Attach a lifecycle trace buffer (the hub queue's; System
+     *  wiring). Requests trace under requestTag keys, one parent
+     *  span per served request with queue/service children. */
+    void setTrace(trace::TraceBuffer *buf) { _trace = buf; }
+
   private:
     struct PendingRequest
     {
         Tenant *tenant = nullptr;
         Tick arrived = 0;
+        /** Enqueue ordinal: the request's trace identity. */
+        std::uint64_t seq = 0;
     };
 
     void scheduleArrival(Tick at);
@@ -181,6 +192,9 @@ class ServingEngine
     std::uint64_t _digest = 14695981039346656037ull;
     /** Earliest tick the next replacement admission may happen. */
     Tick _nextAdmitAt = 0;
+    /** Enqueued-request ordinal (deterministic: hub-queue order). */
+    std::uint64_t _enqueued = 0;
+    trace::TraceBuffer *_trace = nullptr;
 
     std::uint64_t _windowArrivals = 0;
     std::uint64_t _windowCompleted = 0;

@@ -23,4 +23,27 @@ profSubsystemName(ProfSubsystem s)
     NEUMMU_PANIC("unknown profile subsystem");
 }
 
+std::string
+SimProfiler::collapsed() const
+{
+    std::string out;
+    for (unsigned p = 0; p <= rootSlot; p++) {
+        for (unsigned c = 0; c < numSlots; c++) {
+            const Slot &s = _pairs[p][c];
+            if (!s.count)
+                continue;
+            out += "neummu;";
+            if (p != rootSlot) {
+                out += profSubsystemName(ProfSubsystem(p));
+                out += ';';
+            }
+            out += profSubsystemName(ProfSubsystem(c));
+            out += ' ';
+            out += std::to_string(s.nanos);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
 } // namespace neummu

@@ -21,6 +21,9 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
 
 namespace neummu {
 
@@ -58,6 +61,8 @@ class SimProfiler
 
     static constexpr unsigned numSlots =
         unsigned(ProfSubsystem::Count);
+    /** Pair-matrix parent index for "no enclosing scope". */
+    static constexpr unsigned rootSlot = numSlots;
 
     const Slot &
     slot(ProfSubsystem s) const
@@ -65,10 +70,23 @@ class SimProfiler
         return _slots[unsigned(s)];
     }
 
+    /**
+     * (parent, child) attribution: child self-time broken out by the
+     * directly enclosing scope (@p parent == rootSlot for top-level
+     * scopes). Feeds the collapsed-stack dump.
+     */
+    const Slot &
+    pair(unsigned parent, ProfSubsystem child) const
+    {
+        return _pairs[parent][unsigned(child)];
+    }
+
     void
     reset()
     {
         _slots.fill(Slot{});
+        for (auto &row : _pairs)
+            row.fill(Slot{});
     }
 
     /** Sum another profiler's slots into this one (dump-time merge). */
@@ -79,7 +97,23 @@ class SimProfiler
             _slots[i].count += other._slots[i].count;
             _slots[i].nanos += other._slots[i].nanos;
         }
+        for (unsigned p = 0; p <= rootSlot; p++)
+            for (unsigned c = 0; c < numSlots; c++) {
+                _pairs[p][c].count += other._pairs[p][c].count;
+                _pairs[p][c].nanos += other._pairs[p][c].nanos;
+            }
     }
+
+    /**
+     * Flamegraph-compatible collapsed-stack dump: one
+     * "neummu;Parent;Child nanos" line per nonzero (parent, child)
+     * pair ("neummu;Child nanos" for top-level scopes), in fixed slot
+     * order. Feed to flamegraph.pl / speedscope / inferno as-is. The
+     * stacks are two frames deep by construction -- the profiler
+     * records the direct parent only, which is exactly the self-time
+     * partition the subsystem table reports.
+     */
+    std::string collapsed() const;
 
     /**
      * RAII attribution scope. Elapsed time lands in the scope's
@@ -110,8 +144,17 @@ class SimProfiler
             Slot &s = _prof->_slots[_sub];
             s.count++;
             s.nanos += ns;
+            Slot &p = _prof->_pairs[_parentSub][_sub];
+            p.count++;
+            p.nanos += ns;
+            // Self-time discipline, for the slot and its pair alike:
+            // nested elapsed time is subtracted from the enclosing
+            // accumulators (transiently wrapping is fine -- the
+            // enclosing scope's own add nets it out).
             if (_prof->_current)
                 _prof->_current->nanos -= ns;
+            if (_prof->_currentPair)
+                _prof->_currentPair->nanos -= ns;
         }
 
         Scope(const Scope &) = delete;
@@ -124,27 +167,48 @@ class SimProfiler
             if (!_prof)
                 return;
             _parent = _prof->_current;
+            _parentSub = _prof->_currentSub;
+            _parentPair = _prof->_currentPair;
             _prof->_current = &_prof->_slots[_sub];
+            _prof->_currentSub = _sub;
+            _prof->_currentPair = &_prof->_pairs[_parentSub][_sub];
         }
 
         /** Paired with enter(); restores the enclosing scope. */
         void
         leave()
         {
-            if (_prof)
-                _prof->_current = _parent;
+            if (!_prof)
+                return;
+            // Scopes are strictly LIFO: leaving a scope that is not
+            // the innermost one means an enter/leave pair was
+            // dropped or reordered, and every self-time subtraction
+            // from here on would land in the wrong slot.
+            NEUMMU_ASSERT(_prof->_current == &_prof->_slots[_sub] &&
+                              _prof->_currentSub == _sub,
+                          "profiler scopes must unwind LIFO");
+            _prof->_current = _parent;
+            _prof->_currentSub = _parentSub;
+            _prof->_currentPair = _parentPair;
         }
 
       private:
         SimProfiler *_prof;
         unsigned _sub = 0;
+        /** Direct parent at enter() time (rootSlot when top-level). */
+        unsigned _parentSub = rootSlot;
         Slot *_parent = nullptr;
+        Slot *_parentPair = nullptr;
         std::chrono::steady_clock::time_point _start;
     };
 
   private:
     std::array<Slot, numSlots> _slots{};
+    /** [parent][child] self-time; parent rootSlot = top level. */
+    std::array<std::array<Slot, numSlots>, rootSlot + 1> _pairs{};
     Slot *_current = nullptr;
+    unsigned _currentSub = rootSlot;
+    Slot *_currentPair = nullptr;
 };
 
 /**

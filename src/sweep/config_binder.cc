@@ -449,6 +449,18 @@ applyOverride(SystemConfig &cfg, const std::string &key,
         cfg.sim.threads = unsigned(parseU64(key, value));
     } else if (key == "sim.profile") {
         cfg.sim.profile = parseU64(key, value) != 0;
+
+        // --- Lifecycle tracing ----------------------------------------
+    } else if (key == "trace.enabled") {
+        cfg.trace.enabled = parseBool(key, value);
+    } else if (key == "trace.tailThreshold") {
+        cfg.trace.tailThreshold = Tick(parseU64(key, value));
+    } else if (key == "trace.autoP99") {
+        cfg.trace.autoP99 = parseBool(key, value);
+    } else if (key == "trace.ring") {
+        cfg.trace.ring = parseU64(key, value);
+    } else if (key == "trace.marks") {
+        cfg.trace.marks = parseU64(key, value);
     } else {
         unknownKey(key);
     }
@@ -554,6 +566,15 @@ binderKeyTable()
                         "fastpath.* stats groups); observational only"},
         {"sim.threads", "worker threads (0 = one per domain); never "
                         "affects results"},
+        {"trace.enabled", "0|1: request-lifecycle span tracing "
+                          "(off = zero overhead, goldens untouched)"},
+        {"trace.tailThreshold", "flush only requests with e2e latency "
+                                ">= this many ticks (0 = keep all)"},
+        {"trace.autoP99", "0|1: also flush requests slower than the "
+                          "live p99 of their domain"},
+        {"trace.ring", "span-ring capacity per event queue "
+                       "(drop-oldest)"},
+        {"trace.marks", "tail-mark ring capacity per event queue"},
     };
     return table;
 }

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "system/system.hh"
+#include "trace/trace_engine.hh"
 
 namespace neummu {
 
@@ -71,10 +72,14 @@ PagingEngine::evictOne(bool timed, Tick &when)
         if (timed) {
             // Read the victim out of local memory, then push it back
             // across the host link; the fetch queues behind it.
+            const Tick started = when;
             const Tick read_done = _sys.memory(_cfg.homeNode)
                                        .access(when, um.frame,
                                                _pageBytes, false);
             when = _link.transfer(read_done, _pageBytes);
+            if (_trace)
+                _trace->span(trace::pageTag | (victim >> _pageShift),
+                             trace::Stage::PageEvict, started, when);
         }
     }
     return true;
@@ -134,6 +139,10 @@ PagingEngine::handleFault(Addr va, Tick now)
                            .access(arrived, frame, _pageBytes, true);
     _fetchedBytes += _pageBytes;
     _stallCycles += ready - now;
+
+    if (_trace)
+        _trace->span(trace::pageTag | (page >> _pageShift),
+                     trace::Stage::PageFetch, now, ready);
 
     _migrating.insert(page, ready);
     _sys.eventQueue().schedule(ready,

@@ -34,6 +34,10 @@ namespace neummu {
 
 class System;
 
+namespace trace {
+class TraceBuffer;
+}
+
 /** Page lifecycle / oversubscription knobs (SystemConfig.paging). */
 struct PagingConfig
 {
@@ -139,6 +143,10 @@ class PagingEngine
      */
     void refreshStats();
 
+    /** Attach a lifecycle trace buffer (the hub queue's; System
+     *  wiring). Page fetches/evictions trace under page keys. */
+    void setTrace(trace::TraceBuffer *buf) { _trace = buf; }
+
   private:
     /**
      * Evict one cold resident page: unmap (reclaiming empty
@@ -162,6 +170,7 @@ class PagingEngine
     Link _link;
     /** Page VA -> residency tick of its in-flight fetch. */
     FlatMap64<Tick> _migrating;
+    trace::TraceBuffer *_trace = nullptr;
 
     std::uint64_t _faults = 0;
     std::uint64_t _coalescedFaults = 0;

@@ -1,6 +1,7 @@
 #include "system/shard_port.hh"
 
 #include "common/logging.hh"
+#include "trace/trace_engine.hh"
 
 namespace neummu {
 
@@ -33,6 +34,9 @@ ShardTranslationPort::translate(Addr va, std::uint64_t id)
     _credits--;
     _counts.requests++;
     ++_sRequests;
+    if (_trace)
+        _trace->span(_traceKeyBase | id, trace::Stage::HopToHub,
+                     _eq.now(), _eq.now() + _rt.hopTicks());
     HubTranslationBridge *bridge = _bridge;
     _rt.post(/*to_queue=*/0, _selfUnit, _eq.now() + _rt.hopTicks(),
              [bridge, va, id] { bridge->ingress(va, id); });
@@ -92,8 +96,12 @@ HubTranslationBridge::ingress(Addr va, std::uint64_t id)
 {
     // Preserve request order: once anything is parked, everything
     // queues behind it.
-    if (!_retry.empty() || !_port.translate(va, id))
+    if (!_retry.empty() || !_port.translate(va, id)) {
+        if (_trace)
+            _trace->open(_traceKeyBase | id, trace::Stage::HubQueue,
+                         _eq.now());
         _retry.emplace_back(va, id);
+    }
 }
 
 void
@@ -103,6 +111,9 @@ HubTranslationBridge::onWake()
         const auto &[va, id] = _retry.front();
         if (!_port.translate(va, id))
             break;
+        if (_trace)
+            _trace->close(_traceKeyBase | id, trace::Stage::HubQueue,
+                          _eq.now());
         _retry.pop_front();
     }
 }
@@ -110,6 +121,9 @@ HubTranslationBridge::onWake()
 void
 HubTranslationBridge::onResponse(const TranslationResponse &resp)
 {
+    if (_trace)
+        _trace->span(_traceKeyBase | resp.id, trace::Stage::HopToNpu,
+                     _eq.now(), _eq.now() + _rt.hopTicks());
     ShardTranslationPort *shard = &_shard;
     _rt.post(_npuQueue, /*sender_unit=*/0,
              _eq.now() + _rt.hopTicks(),

@@ -46,6 +46,10 @@ namespace neummu {
 
 class HubTranslationBridge;
 
+namespace trace {
+class TraceBuffer;
+}
+
 /** The NPU-side end: what the DMA engine sees as its MMU port. */
 class ShardTranslationPort : public TranslationEngine
 {
@@ -74,6 +78,14 @@ class ShardTranslationPort : public TranslationEngine
     unsigned creditsAvailable() const { return _credits; }
     stats::Group &stats() { return _stats; }
 
+    /** Attach a lifecycle trace buffer (the NPU queue's; System
+     *  wiring). @p key_base is the port's router client tag. */
+    void setTrace(trace::TraceBuffer *buf, std::uint64_t key_base)
+    {
+        _trace = buf;
+        _traceKeyBase = key_base;
+    }
+
   private:
     DomainRuntime &_rt;
     EventQueue &_eq;
@@ -82,6 +94,8 @@ class ShardTranslationPort : public TranslationEngine
     unsigned _credits;
     ResponseCallback _respond;
     WakeCallback _wake;
+    trace::TraceBuffer *_trace = nullptr;
+    std::uint64_t _traceKeyBase = 0;
     MmuCounts _counts;
     stats::Group _stats;
     stats::Scalar &_sRequests;
@@ -108,6 +122,14 @@ class HubTranslationBridge
 
     std::size_t retryQueueDepth() const { return _retry.size(); }
 
+    /** Attach a lifecycle trace buffer (the hub queue's; System
+     *  wiring). @p key_base is the NPU's router client tag. */
+    void setTrace(trace::TraceBuffer *buf, std::uint64_t key_base)
+    {
+        _trace = buf;
+        _traceKeyBase = key_base;
+    }
+
   private:
     void onResponse(const TranslationResponse &resp);
     void onWake();
@@ -118,6 +140,8 @@ class HubTranslationBridge
     unsigned _npuQueue;
     TranslationEngine &_port;
     ShardTranslationPort &_shard;
+    trace::TraceBuffer *_trace = nullptr;
+    std::uint64_t _traceKeyBase = 0;
     /** Requests the hub port rejected, replayed in order on wake. */
     std::deque<std::pair<Addr, std::uint64_t>> _retry;
 };

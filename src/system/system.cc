@@ -4,7 +4,9 @@
 
 #include "common/logging.hh"
 #include "mmu/translation_factory.hh"
+#include "mmu/translation_router.hh"
 #include "serving/serving_engine.hh"
+#include "trace/trace_engine.hh"
 
 namespace neummu {
 
@@ -215,6 +217,43 @@ System::System(SystemConfig cfg)
         _stats.add(_serving->stats());
     }
 
+    // Lifecycle tracing comes after everything it observes exists.
+    // The engine (and its trace.* stats group) is built only when
+    // enabled, so the disabled-path cost is one null pointer per
+    // component and the dump surface -- including the goldens -- is
+    // byte-identical to a build without tracing.
+    if (_cfg.trace.enabled) {
+        // Key-space top bytes 0xFD..0xFF are reserved for prefetch /
+        // paging / serving span families (see trace/trace.hh).
+        NEUMMU_ASSERT(_cfg.numNpus < 0xFD,
+                      "tracing supports at most 252 NPUs");
+        _trace = std::make_unique<trace::TraceEngine>(
+            _cfg.name, _cfg.trace,
+            _domains ? _domains->numQueues() : 1,
+            _stats.group(prefixed(_cfg.name, "trace")));
+        for (unsigned i = 0; i < _cfg.numNpus; i++) {
+            // The router tags request ids with the client index in
+            // the top byte; components that see raw (untagged) ids --
+            // the DMA and the shard port/bridge pair -- prepend the
+            // same tag so every span of one request shares one key.
+            const std::uint64_t key_base =
+                _router ? std::uint64_t(i) << trace::clientShift : 0;
+            const unsigned q = _domains ? _npuQueue[i] : 0;
+            _npus[i].dma->setTrace(&_trace->buffer(q), key_base);
+            if (_domains) {
+                _shardPorts[i]->setTrace(&_trace->buffer(q),
+                                         key_base);
+                _hubBridges[i]->setTrace(&_trace->buffer(0),
+                                         key_base);
+            }
+        }
+        _mmu->setTraceBuffer(&_trace->buffer(0));
+        if (_paging)
+            _paging->setTrace(&_trace->buffer(0));
+        if (_serving)
+            _serving->setTrace(&_trace->buffer(0));
+    }
+
     // System-level counters live in a registry-owned group so they
     // appear in the same dump as the components'.
     _stats.group(prefixed(_cfg.name, "sim"));
@@ -360,6 +399,14 @@ System::servingEngine()
     return *_serving;
 }
 
+trace::TraceEngine &
+System::traceEngine()
+{
+    NEUMMU_ASSERT(_trace, "tracing is disabled on this system "
+                          "(trace.enabled=0)");
+    return *_trace;
+}
+
 void
 System::releaseSegment(const Segment &segment, unsigned owner_slot)
 {
@@ -411,6 +458,8 @@ System::refreshSystemStats()
     }
     if (_cfg.sim.profile)
         refreshProfileStats();
+    if (_trace)
+        _trace->refreshStats();
 }
 
 std::uint64_t

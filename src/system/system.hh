@@ -41,6 +41,7 @@
 #include "sim/event_queue.hh"
 #include "system/paging_engine.hh"
 #include "system/shard_port.hh"
+#include "trace/trace.hh"
 #include "vm/address_space.hh"
 #include "vm/frame_allocator.hh"
 #include "vm/page_table.hh"
@@ -50,6 +51,10 @@ namespace neummu {
 namespace serving {
 class ServingEngine;
 } // namespace serving
+
+namespace trace {
+class TraceEngine;
+} // namespace trace
 
 /**
  * Simulation-kernel execution/model knobs (ConfigBinder group
@@ -200,6 +205,18 @@ struct SystemConfig
      */
     serving::ServeConfig serve{};
 
+    // --- Lifecycle tracing -----------------------------------------
+    /**
+     * Request-lifecycle tracing (ConfigBinder group "trace.*").
+     * Disabled (the default) builds no trace machinery at all: the
+     * instrumented hot paths carry one null-pointer test each and no
+     * trace.* stats group is registered, so golden dumps are
+     * untouched. Enabled, the System owns a TraceEngine recording
+     * per-translation-request spans in simulated ticks -- see
+     * trace/trace_engine.hh for the determinism story.
+     */
+    trace::TraceConfig trace{};
+
     // --- Page table / VA layout ------------------------------------
     /** Page size of the translation stream (12 or 21). */
     unsigned pageShift = smallPageShift;
@@ -342,6 +359,11 @@ class System
     /** @pre hasServingEngine() */
     serving::ServingEngine &servingEngine();
 
+    // --- Lifecycle tracing -----------------------------------------
+    bool hasTraceEngine() const { return _trace != nullptr; }
+    /** @pre hasTraceEngine() */
+    trace::TraceEngine &traceEngine();
+
     // --- Statistics ------------------------------------------------
     /** Every component's counters, registered at construction. */
     stats::StatsRegistry &statsRegistry() { return _stats; }
@@ -393,6 +415,7 @@ class System
     std::unique_ptr<TranslationRouter> _router;
     std::unique_ptr<PagingEngine> _paging;
     std::unique_ptr<serving::ServingEngine> _serving;
+    std::unique_ptr<trace::TraceEngine> _trace;
     std::unique_ptr<FrameAllocator> _sharedHbm;
     std::unique_ptr<MemoryModel> _sharedMem;
     std::vector<Npu> _npus;

@@ -18,7 +18,11 @@
  *   --seed=N            root seed (shorthand for --set=seed=N)
  *   --json=FILE         write the full stats dump as JSON; "-" for
  *                       stdout
- *   --report=0|1        print the human SLO report (default 1)
+ *   --trace=FILE        force trace.enabled and write the Chrome
+ *                       trace-event JSON (Perfetto-loadable) here
+ *   --report=0|1        print the human SLO report (default 1);
+ *                       with tracing on, appends the per-stage
+ *                       "where did p99 go" latency decomposition
  *   --tenants=0|1       include the per-tenant table in the report
  *                       (default 1)
  *   --quiet=1           suppress everything but explicit outputs
@@ -27,6 +31,7 @@
  * Exit codes: 0 success; 1 usage/config error.
  */
 
+#include <array>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -38,6 +43,7 @@
 #include "sweep/config_binder.hh"
 #include "system/scheduler.hh"
 #include "system/system.hh"
+#include "trace/trace_engine.hh"
 
 using namespace neummu;
 
@@ -85,6 +91,77 @@ printReport(const serving::ServeReport &rep, const serving::ServeConfig &cfg,
                     t.draining ? "draining" : "running");
 }
 
+/**
+ * The "where did p99 go" table: one partition of traced latency per
+ * lifecycle level (serving requests, translation requests). Every
+ * tick of every traced request is charged to exactly one stage, so
+ * the "total" row equals the traced end-to-end latency sum -- the
+ * decomposition explains the tail instead of sampling around it.
+ */
+void
+printDecomposition(const char *title,
+                   const std::array<trace::TraceEngine::StageRow,
+                                    trace::numStages> &rows,
+                   std::uint64_t traced, std::uint64_t charged,
+                   std::uint64_t e2e)
+{
+    if (!traced)
+        return;
+    std::printf("  --- %s latency decomposition (%llu traced) ---\n",
+                title, (unsigned long long)traced);
+    std::printf("  %-12s %10s %14s %10s %10s %7s\n", "stage",
+                "requests", "totalTicks", "mean", "p99", "share");
+    for (unsigned s = 0; s < trace::numStages; s++) {
+        const trace::TraceEngine::StageRow &row = rows[s];
+        if (!row.count)
+            continue;
+        std::printf("  %-12s %10llu %14llu %10.1f %10llu %6.2f%%\n",
+                    trace::stageName(trace::Stage(s)),
+                    (unsigned long long)row.count,
+                    (unsigned long long)row.totalTicks,
+                    row.hist.mean(),
+                    (unsigned long long)row.hist.quantile(0.99),
+                    e2e ? 100.0 * double(row.totalTicks) /
+                              double(e2e)
+                        : 0.0);
+    }
+    std::printf("  %-12s %10s %14llu  (e2e %llu, %s)\n", "total", "",
+                (unsigned long long)charged,
+                (unsigned long long)e2e,
+                charged == e2e ? "stage sum == e2e"
+                               : "MISMATCH");
+}
+
+void
+printTraceReport(const trace::TraceEngine::Report &rep)
+{
+    std::printf("=== trace report ===\n");
+    std::printf("  spans         recorded=%llu emitted=%llu "
+                "dropped=%llu openAtDrain=%llu\n",
+                (unsigned long long)rep.spansRecorded,
+                (unsigned long long)rep.spansEmitted,
+                (unsigned long long)rep.dropped,
+                (unsigned long long)rep.openAtDrain);
+    printDecomposition("request", rep.requestStages,
+                       rep.tracedRequests, rep.requestChargedTicks,
+                       rep.requestE2eTicks);
+    printDecomposition("translation", rep.stages,
+                       rep.tracedTranslations,
+                       rep.translationChargedTicks,
+                       rep.translationE2eTicks);
+    if (rep.tenants.empty())
+        return;
+    std::printf("  --- per-tenant traced latency (ticks) ---\n");
+    std::printf("  %-8s %10s %10s %10s %10s\n", "tenant", "traced",
+                "e2e p99", "queue p99", "service p99");
+    for (const trace::TraceEngine::TenantRow &t : rep.tenants)
+        std::printf("  t%-7u %10llu %10llu %10llu %10llu\n",
+                    t.tenant, (unsigned long long)t.count,
+                    (unsigned long long)t.e2e.quantile(0.99),
+                    (unsigned long long)t.queue.quantile(0.99),
+                    (unsigned long long)t.service.quantile(0.99));
+}
+
 } // namespace
 
 int
@@ -119,6 +196,9 @@ main(int argc, char **argv)
         cfg.serve.enabled = true;
         if (args.has("seed"))
             cfg.seed = std::uint64_t(args.getInt("seed", 0));
+        const std::string trace_path = args.get("trace", "");
+        if (!trace_path.empty())
+            cfg.trace.enabled = true;
 
         System system(cfg);
         Scheduler scheduler(system);
@@ -136,9 +216,24 @@ main(int argc, char **argv)
 
         const serving::ServingEngine &engine =
             system.servingEngine();
-        if (args.getBool("report", true) && !quiet)
+        if (args.getBool("report", true) && !quiet) {
             printReport(engine.report(), engine.config(),
                         system.now(), args.getBool("tenants", true));
+            if (system.hasTraceEngine()) {
+                system.traceEngine().drain();
+                printTraceReport(system.traceEngine().report());
+            }
+        }
+
+        if (!trace_path.empty()) {
+            if (!system.traceEngine().writeChromeTraceFile(
+                    trace_path))
+                NEUMMU_FATAL("cannot write trace JSON to " +
+                             trace_path);
+            if (!quiet)
+                std::printf("wrote Chrome trace JSON to %s\n",
+                            trace_path.c_str());
+        }
 
         const std::string json_path = args.get("json", "");
         if (json_path == "-") {
